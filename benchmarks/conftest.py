@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` module regenerates one table or figure of the paper at a
+reduced scale, asserts the paper's qualitative findings (who wins, by roughly
+what factor), and reports the end-to-end runtime via pytest-benchmark.  Run
+with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.harness import ExperimentScale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Reduced experiment scale used by every benchmark."""
+    return ExperimentScale(dataset_size=300, trace_duration=180.0, num_workers=16, seed=0)
+
+
+def pytest_collection_modifyitems(config, items):
+    # Benchmarks are expensive; when the user runs plain `pytest` from the
+    # repository root they are excluded via testpaths, so nothing to do here.
+    del config, items

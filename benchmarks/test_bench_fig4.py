@@ -1,0 +1,37 @@
+"""Benchmark E4 — Figure 4: static-trace comparison at low/medium/high load.
+
+Paper shape asserted: DiffServe offers the Pareto-optimal trade-off between
+FID and SLO violations at every load level; Clipper-Light has (near) zero
+violations but the worst FID; Clipper-Heavy has good FID but by far the most
+violations at high load.
+"""
+
+from repro.experiments.fig4_static import run_fig4
+
+
+def test_bench_fig4(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs={"scale": bench_scale, "factors": (1.05, 1.5)},
+        iterations=1,
+        rounds=1,
+    )
+
+    for load in result.load_levels:
+        points = result.points[load]
+        # DiffServe contributes a non-dominated point at every load level.
+        assert result.diffserve_is_pareto_optimal(load)
+
+        clipper_light = points["clipper-light"][0]
+        clipper_heavy = points["clipper-heavy"][0]
+        best_diffserve_fid = min(p.y for p in points["diffserve"])
+        best_diffserve_viol = min(p.x for p in points["diffserve"])
+
+        # Clipper-Light: lowest violations, worst quality.
+        assert clipper_light.x <= 0.05
+        assert clipper_light.y > best_diffserve_fid
+        # DiffServe keeps violations low everywhere.
+        assert best_diffserve_viol <= 0.15
+
+    # Clipper-Heavy collapses under high load (paper: 45-75% violations).
+    assert result.points["high"]["clipper-heavy"][0].x > 0.3

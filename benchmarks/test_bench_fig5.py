@@ -1,0 +1,37 @@
+"""Benchmark E5 — Figure 5: real-world (Azure-like) trace, Cascade 1.
+
+Paper shape asserted: DiffServe achieves the best quality of all systems
+except (at most) Clipper-Heavy while keeping SLO violations far below
+Clipper-Heavy and below DiffServe-Static; Clipper-Light has the worst FID;
+Proteus improves little over Clipper-Light because it is query-agnostic.
+"""
+
+from repro.experiments.fig5_real_trace import run_fig5
+
+
+def test_bench_fig5(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_fig5, args=("sdturbo", bench_scale), iterations=1, rounds=1
+    )
+    fid = {name: res.fid() for name, res in result.results.items()}
+    viol = {name: res.slo_violation_ratio for name, res in result.results.items()}
+
+    # Quality ordering (lower FID is better).
+    assert fid["diffserve"] < fid["clipper-light"]
+    assert fid["diffserve"] < fid["proteus"]
+    assert fid["diffserve"] < fid["diffserve-static"] + 0.5
+    assert fid["clipper-heavy"] < fid["clipper-light"]
+    # Quality improvement over the query-agnostic baselines is substantial
+    # (paper: up to ~24%).
+    assert result.quality_improvement_over("clipper-light") > 0.08
+
+    # SLO-violation ordering.
+    assert viol["clipper-heavy"] > 0.25
+    assert viol["diffserve"] < 0.10
+    assert viol["diffserve"] < viol["clipper-heavy"] / 3
+    assert viol["diffserve"] <= viol["diffserve-static"] + 0.02
+    assert viol["clipper-light"] <= 0.02
+
+    # The controller actually adapted the threshold over the trace.
+    _, thresholds = result.results["diffserve"].threshold_timeseries()
+    assert thresholds.max() - thresholds.min() > 0.1

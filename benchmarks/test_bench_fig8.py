@@ -1,0 +1,32 @@
+"""Benchmark E8 — Figure 8: resource-allocation ablation.
+
+Paper shape asserted: the full DiffServe allocation keeps SLO violations below
+the AIMD-batching and static-threshold variants, and the "no queueing model"
+variant loses significant quality because the 2x-execution heuristic rules the
+heavyweight model out of the latency budget.
+"""
+
+from repro.experiments.fig8_allocation_ablation import run_fig8
+
+
+def test_bench_fig8(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_fig8, args=("sdturbo", bench_scale), iterations=1, rounds=1
+    )
+    fid = {name: result.fid(name) for name in result.results}
+    viol = {name: result.violation(name) for name in result.results}
+
+    # Full DiffServe has the lowest violation ratio of the ablation set.
+    assert viol["diffserve"] <= viol["aimd"] + 0.01
+    assert viol["diffserve"] <= viol["static-threshold"] + 0.01
+    assert viol["diffserve"] < 0.10
+
+    # Dropping the queueing model costs quality (paper: up to 12% worse FID).
+    assert fid["no-queuing-model"] > fid["diffserve"] + 0.5
+
+    # The full system is on the quality Pareto frontier of the ablation:
+    # nothing both improves FID and reduces violations.
+    for other in ("static-threshold", "aimd", "no-queuing-model"):
+        assert not (
+            fid[other] < fid["diffserve"] - 0.2 and viol[other] < viol["diffserve"] - 0.005
+        )

@@ -1,0 +1,28 @@
+"""Benchmark E9 — Figure 9: sensitivity of DiffServe to the SLO setting.
+
+Paper shape asserted: across a broad range of SLO values DiffServe keeps the
+SLO violation ratio low (a few percent) and the quality high; quality can only
+improve (FID fall) as the SLO is relaxed, since the allocator gains latency
+budget for the heavyweight model.
+"""
+
+import numpy as np
+
+from repro.experiments.fig9_slo_sensitivity import run_fig9
+
+
+def test_bench_fig9(benchmark, bench_scale):
+    slos = (3.0, 5.0, 8.0)
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"scale": bench_scale, "slos": slos}, iterations=1, rounds=1
+    )
+
+    violations = [result.avg_violation(s) for s in result.slos]
+    fids = [result.avg_fid(s) for s in result.slos]
+
+    # Low violations across the whole SLO range (paper: < 5%).
+    assert max(violations) < 0.08
+    # Quality does not degrade as the SLO is relaxed (small tolerance).
+    assert fids[-1] <= fids[0] + 0.5
+    # All FIDs stay in a sane band.
+    assert all(np.isfinite(f) and 12 < f < 26 for f in fids)

@@ -1,0 +1,63 @@
+"""Compare DiffServe against all baselines on a real-world-like trace.
+
+This reproduces the Figure 5 experiment: Clipper-Light, Clipper-Heavy,
+Proteus, DiffServe-Static and DiffServe all serve the same Azure-like trace
+for Cascade 1, and the script prints per-system FID / SLO-violation summaries
+together with the FID and violation time series of DiffServe.
+
+Run with:  python examples/serve_azure_trace.py [--fast]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments.fig5_real_trace import run_fig5
+from repro.experiments.harness import ExperimentScale, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="run a reduced-size experiment (~10s)"
+    )
+    args = parser.parse_args()
+
+    scale = (
+        ExperimentScale(dataset_size=300, trace_duration=180.0, num_workers=16)
+        if args.fast
+        else ExperimentScale(dataset_size=2000, trace_duration=360.0, num_workers=16)
+    )
+    result = run_fig5("sdturbo", scale)
+
+    rows = []
+    for name, res in result.results.items():
+        s = res.summary()
+        rows.append([name, s["fid"], s["slo_violation_ratio"], s["p99_latency"]])
+    print(format_table(["system", "FID", "SLO violation", "p99 latency (s)"], rows))
+
+    print(
+        f"\nDiffServe quality improvement over Clipper-Light: "
+        f"{result.quality_improvement_over('clipper-light') * 100:.1f}%"
+    )
+    print(
+        f"DiffServe violation reduction vs Clipper-Heavy: "
+        f"{result.violation_reduction_factor('clipper-heavy'):.0f}x"
+    )
+
+    series = result.timeseries("diffserve")
+    centers, fid = series["fid"]
+    _, violation = series["violation"]
+    _, demand = series["demand"]
+    print("\nDiffServe time series (window centres)")
+    print(format_table(
+        ["time (s)", "demand (QPS)", "FID", "SLO violation"],
+        [
+            [f"{c:.0f}", float(d), float(f) if np.isfinite(f) else float("nan"), float(v)]
+            for c, d, f, v in zip(centers, demand, fid, violation)
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main()

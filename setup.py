@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517`` on environments that lack the
+``wheel`` package (offline machines); normal installs use ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

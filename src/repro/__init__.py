@@ -1,0 +1,45 @@
+"""DiffServe reproduction: query-aware model scaling for text-to-image diffusion serving.
+
+The package is organised as:
+
+* :mod:`repro.simulator` — discrete-event simulation substrate.
+* :mod:`repro.models` — synthetic diffusion model variants, datasets and
+  quality model.
+* :mod:`repro.metrics` — FID, SLO and Pareto utilities.
+* :mod:`repro.discriminators` — trainable discriminators and the baselines
+  they are compared against.
+* :mod:`repro.milp` — from-scratch MILP solver (branch-and-bound + exhaustive).
+* :mod:`repro.core` — the DiffServe serving system (workers, load balancer,
+  controller, MILP resource allocator).
+* :mod:`repro.baselines` — Clipper, Proteus and DiffServe-Static.
+* :mod:`repro.traces` — synthetic and Azure-Functions-like workload traces.
+* :mod:`repro.experiments` — one runner per paper figure/table.
+
+Quickstart::
+
+    from repro import build_diffserve_system
+    from repro.traces import azure_functions_like_rate
+    from repro.traces.base import ArrivalTrace
+    import numpy as np
+
+    system = build_diffserve_system("sdturbo", num_workers=16)
+    curve = azure_functions_like_rate(4, 32, duration=120)
+    trace = ArrivalTrace.from_rate_curve(curve, np.random.default_rng(0))
+    result = system.run(trace)
+    print(result.summary())
+"""
+
+from repro.core.system import ServingSimulation, build_diffserve_system
+from repro.models.zoo import CASCADES, MODEL_ZOO, get_cascade, get_variant
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ServingSimulation",
+    "build_diffserve_system",
+    "MODEL_ZOO",
+    "CASCADES",
+    "get_variant",
+    "get_cascade",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Baseline serving systems compared against DiffServe (Table 1).
+
+* **Clipper-Light / Clipper-Heavy** — static, query-agnostic systems that send
+  every query to a single model variant (Crankshaw et al., 2017).
+* **Proteus** — dynamic model scaling driven by demand, but with
+  content-agnostic random routing across variants (Ahmad et al., 2024).
+* **DiffServe-Static** — query-aware cascade with a discriminator, but
+  provisioned statically for peak demand and a fixed threshold.
+"""
+
+from repro.baselines.clipper import ClipperPolicy, build_clipper_system
+from repro.baselines.proteus import ProteusPolicy, build_proteus_system
+from repro.baselines.static_diffserve import (
+    PeakProvisionedPolicy,
+    build_diffserve_static_system,
+)
+from repro.baselines.registry import BASELINE_TABLE, BaselineInfo, baseline_table_rows
+
+__all__ = [
+    "ClipperPolicy",
+    "build_clipper_system",
+    "ProteusPolicy",
+    "build_proteus_system",
+    "PeakProvisionedPolicy",
+    "build_diffserve_static_system",
+    "BaselineInfo",
+    "BASELINE_TABLE",
+    "baseline_table_rows",
+]

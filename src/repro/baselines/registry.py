@@ -1,0 +1,72 @@
+"""Qualitative baseline comparison (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class BaselineInfo:
+    """One row of Table 1."""
+
+    name: str
+    allocation: str  # "Static" or "Dynamic"
+    query_aware: bool
+    description: str
+
+
+BASELINE_TABLE: Dict[str, BaselineInfo] = {
+    "clipper-light": BaselineInfo(
+        name="Clipper-Light",
+        allocation="Static",
+        query_aware=False,
+        description="All queries served by the lightweight diffusion model.",
+    ),
+    "clipper-heavy": BaselineInfo(
+        name="Clipper-Heavy",
+        allocation="Static",
+        query_aware=False,
+        description="All queries served by the heavyweight diffusion model.",
+    ),
+    "proteus": BaselineInfo(
+        name="Proteus",
+        allocation="Dynamic",
+        query_aware=False,
+        description="Demand-driven model scaling with random, content-agnostic routing.",
+    ),
+    "diffserve-static": BaselineInfo(
+        name="DiffServe-Static",
+        allocation="Static",
+        query_aware=True,
+        description="Discriminator-based cascade provisioned statically for peak demand.",
+    ),
+    "diffserve": BaselineInfo(
+        name="DiffServe",
+        allocation="Dynamic",
+        query_aware=True,
+        description="MILP-driven cascade with query-aware model scaling (this work).",
+    ),
+}
+
+
+def baseline_table_rows() -> List[Tuple[str, str, str]]:
+    """Rows of Table 1: (Approach, Allocation, Query-aware)."""
+    return [
+        (info.name, info.allocation, "Yes" if info.query_aware else "No")
+        for info in BASELINE_TABLE.values()
+    ]
+
+
+def render_baseline_table() -> str:
+    """Plain-text rendering of Table 1."""
+    rows = baseline_table_rows()
+    header = ("Approach", "Allocation", "Query-aware")
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(3)]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(3)),
+        "  ".join("-" * widths[i] for i in range(3)),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(3)))
+    return "\n".join(lines)

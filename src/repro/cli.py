@@ -1,0 +1,110 @@
+"""Command-line entry point for the experiment runners.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig5 --dataset-size 500 --duration 240
+    python -m repro.cli all --fast
+
+Each experiment prints the same table its ``repro.experiments`` module's
+``main()`` renders; ``all`` runs the full suite in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    fig1_motivation,
+    fig1_pareto,
+    fig4_static,
+    fig5_real_trace,
+    fig6_cascades,
+    fig7_discriminator,
+    fig8_allocation_ablation,
+    fig9_slo_sensitivity,
+    milp_overhead,
+    reuse_study,
+)
+from repro.experiments.harness import ExperimentScale
+
+#: Experiment name -> (description, runner main function).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": ("Figure 1a/1b motivation study", fig1_motivation.main),
+    "fig1c": ("Figure 1c FID/throughput Pareto frontier", fig1_pareto.main),
+    "fig4": ("Figure 4 static-trace comparison", fig4_static.main),
+    "fig5": ("Figure 5 Azure-like trace comparison (Cascade 1)", fig5_real_trace.main),
+    "fig6": ("Figure 6 Cascades 2 & 3 comparison", fig6_cascades.main),
+    "fig7": ("Figure 7 discriminator ablation", fig7_discriminator.main),
+    "fig8": ("Figure 8 resource-allocation ablation", fig8_allocation_ablation.main),
+    "fig9": ("Figure 9 SLO sensitivity", fig9_slo_sensitivity.main),
+    "milp": ("Section 4.5 MILP solver overhead", milp_overhead.main),
+    "reuse": ("Section 5 reuse study", reuse_study.main),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DiffServe reproduction experiment runner"
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to run, 'all' for every experiment, 'list' to enumerate them",
+    )
+    parser.add_argument("--dataset-size", type=int, default=1000, help="number of prompts")
+    parser.add_argument("--duration", type=float, default=360.0, help="trace duration (s)")
+    parser.add_argument("--workers", type=int, default=16, help="cluster size")
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--fast", action="store_true", help="use a reduced scale (~10x faster)"
+    )
+    return parser
+
+
+def scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    """Build the experiment scale requested on the command line."""
+    if args.fast:
+        return ExperimentScale(
+            dataset_size=300, trace_duration=180.0, num_workers=args.workers, seed=args.seed
+        )
+    return ExperimentScale(
+        dataset_size=args.dataset_size,
+        trace_duration=args.duration,
+        num_workers=args.workers,
+        seed=args.seed,
+    )
+
+
+def list_experiments() -> str:
+    """Human-readable list of available experiments."""
+    lines = ["Available experiments:"]
+    for name in sorted(EXPERIMENTS):
+        description, _ = EXPERIMENTS[name]
+        lines.append(f"  {name:8s} {description}")
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        list_experiments()
+        return 0
+    scale = scale_from_args(args)
+    names: List[str] = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"=== {name}: {description} ===")
+        runner(scale)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,328 @@
+"""The DiffServe resource allocator (Section 3.3).
+
+The allocator jointly picks the confidence threshold ``t``, the worker split
+``(x1, x2)`` between the lightweight and heavyweight models, and their batch
+sizes ``(b1, b2)``, maximising ``t`` subject to:
+
+* the latency constraint ``e(b1) + q(b1) + e(b2) + q(b2) <= SLO`` (Eq. 1);
+* the light-pool throughput constraint ``x1 * T1(b1) >= D`` (Eq. 2);
+* the heavy-pool throughput constraint ``x2 * T2(b2) >= D * f(t)`` (Eq. 3);
+* the device budget ``x1 + x2 <= S`` (Eq. 4).
+
+``f(t)`` — the fraction of queries deferred at threshold ``t`` — is an
+empirical, piecewise-constant function, so the threshold is discretised onto
+a grid and selected with binary variables inside a MILP solved per candidate
+``(b1, b2)`` pair.  The MILP is solved with the branch-and-bound solver from
+:mod:`repro.milp` (the paper uses Gurobi).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.queueing import LittlesLawModel, QueueingModel
+from repro.discriminators.base import Discriminator
+from repro.discriminators.deferral import DeferralProfile
+from repro.milp.branch_and_bound import BranchAndBoundSolver
+from repro.milp.problem import MILPProblem, VarType
+from repro.models.variants import ModelVariant
+
+
+@dataclass
+class AllocationPlan:
+    """The Controller-facing output of one allocation solve.
+
+    ``num_light`` workers host the light model (plus discriminator),
+    ``num_heavy`` host the heavy model, with the given batch sizes and
+    confidence threshold.  ``heavy_fraction`` is only used by random-split
+    (Proteus-style) routing.  ``light_variant_name`` / ``heavy_variant_name``
+    allow baseline policies to place other model variants on the two pools.
+    """
+
+    num_light: int
+    num_heavy: int
+    light_batch: int
+    heavy_batch: int
+    threshold: float
+    heavy_fraction: float = 0.0
+    feasible: bool = True
+    objective: Optional[float] = None
+    solver_time_s: float = 0.0
+    light_variant_name: Optional[str] = None
+    heavy_variant_name: Optional[str] = None
+    #: Optional concrete variant objects, used by policies that place models
+    #: outside the registered zoo (e.g. Proteus deriving a reduced-step
+    #: sampler); they take precedence over the ``*_variant_name`` fields.
+    light_variant: Optional[object] = None
+    heavy_variant: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.num_light < 0 or self.num_heavy < 0:
+            raise ValueError("worker counts must be non-negative")
+        if self.light_batch < 1 or self.heavy_batch < 1:
+            raise ValueError("batch sizes must be >= 1")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        if not 0.0 <= self.heavy_fraction <= 1.0:
+            raise ValueError("heavy_fraction must lie in [0, 1]")
+
+    @property
+    def total_workers(self) -> int:
+        """Total workers used by the plan."""
+        return self.num_light + self.num_heavy
+
+
+@dataclass
+class ControlContext:
+    """Runtime statistics the Controller feeds into the allocator."""
+
+    demand: float
+    slo: float
+    num_workers: int
+    light_queue_length: float = 0.0
+    heavy_queue_length: float = 0.0
+    observed_deferral: Optional[float] = None
+    slo_violations_in_window: int = 0
+    completions_in_window: int = 0
+    current_plan: Optional[AllocationPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.demand < 0:
+            raise ValueError("demand must be non-negative")
+        if self.slo <= 0:
+            raise ValueError("slo must be positive")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+
+
+class DiffServeAllocator:
+    """Builds and solves the DiffServe MILP for a control context."""
+
+    def __init__(
+        self,
+        light: ModelVariant,
+        heavy: ModelVariant,
+        deferral_profile: DeferralProfile,
+        *,
+        discriminator_latency: float = 0.01,
+        queueing_model: Optional[QueueingModel] = None,
+        batch_candidates: Sequence[int] = (1, 2, 4, 8, 16),
+        threshold_levels: int = 21,
+        over_provision: float = 1.05,
+        solver: Optional[BranchAndBoundSolver] = None,
+        min_light_workers: int = 1,
+    ) -> None:
+        if over_provision < 1.0:
+            raise ValueError("over_provision must be >= 1.0")
+        if threshold_levels < 2:
+            raise ValueError("threshold_levels must be >= 2")
+        self.light = light
+        self.heavy = heavy
+        self.deferral_profile = deferral_profile
+        self.discriminator_latency = discriminator_latency
+        self.queueing_model = queueing_model or LittlesLawModel()
+        self.batch_candidates = tuple(sorted(set(int(b) for b in batch_candidates)))
+        self.over_provision = over_provision
+        self.solver = solver or BranchAndBoundSolver()
+        self.min_light_workers = min_light_workers
+        self.threshold_grid = self._build_threshold_grid(threshold_levels)
+        self.last_solve_time_s: float = 0.0
+        self.solve_times: List[float] = []
+
+    # ----------------------------------------------------------------- grids
+    def _build_threshold_grid(self, levels: int) -> List[Tuple[float, float]]:
+        """Candidate (threshold, deferral fraction) pairs from the profile."""
+        quantiles = np.linspace(0.0, 1.0, levels)
+        thresholds = {0.0, 1.0}
+        for q in quantiles:
+            thresholds.add(round(self.deferral_profile.threshold_for_fraction(float(q)), 6))
+        grid = sorted(thresholds)
+        return [(t, self.deferral_profile.fraction(t)) for t in grid]
+
+    def refresh_threshold_grid(self, levels: int = 21) -> None:
+        """Rebuild the grid after the deferral profile was updated online."""
+        self.threshold_grid = self._build_threshold_grid(levels)
+
+    # --------------------------------------------------------------- latency
+    def _light_execution(self, batch: int) -> float:
+        return self.light.latency.latency(batch) + self.discriminator_latency * batch
+
+    def _heavy_execution(self, batch: int) -> float:
+        return self.heavy.latency.latency(batch)
+
+    def _latency_budget_ok(self, ctx: ControlContext, b1: int, b2: int, demand: float) -> bool:
+        e1 = self._light_execution(b1)
+        e2 = self._heavy_execution(b2)
+        deferral_guess = ctx.observed_deferral if ctx.observed_deferral is not None else 0.3
+        heavy_rate = max(demand * deferral_guess, 1e-3)
+        q1 = self.queueing_model.waiting_time(ctx.light_queue_length, max(demand, 1e-3), e1)
+        q2 = self.queueing_model.waiting_time(ctx.heavy_queue_length, heavy_rate, e2)
+        return e1 + q1 + e2 + q2 <= ctx.slo
+
+    # ----------------------------------------------------------------- MILP
+    def build_problem(
+        self, ctx: ControlContext, b1: int, b2: int, demand: float, *, formulation: str = "fraction"
+    ) -> MILPProblem:
+        """The MILP over (x1, x2, threshold) for fixed batch sizes.
+
+        Two equivalent formulations are supported:
+
+        * ``"fraction"`` (default): since ``f(t)`` is monotonically
+          non-decreasing, maximising ``t`` is equivalent to maximising the
+          deferred fraction ``f`` itself and mapping the optimum back through
+          ``f^{-1}``.  This keeps the MILP tiny (two integers plus one
+          continuous variable) and is what the system solves online.
+        * ``"binary"``: the literal discretised-threshold formulation with one
+          binary selector per grid level, used to cross-check the fraction
+          formulation in tests.
+        """
+        problem = MILPProblem(name=f"diffserve-b{b1}-b{b2}")
+        S = ctx.num_workers
+        problem.add_integer("x1", lower=self.min_light_workers, upper=S)
+        problem.add_integer("x2", lower=0, upper=S)
+        t1 = self.light.latency.throughput(b1)
+        t2 = self.heavy.latency.throughput(b2)
+
+        if formulation == "fraction":
+            problem.add_continuous("f", lower=0.0, upper=1.0)
+            problem.set_objective({"f": 1.0})
+            problem.add_ge({"x1": t1}, demand, name="light-throughput")
+            problem.add_le({"f": demand, "x2": -t2}, 0.0, name="heavy-throughput")
+            problem.add_le({"x1": 1.0, "x2": 1.0}, S, name="device-budget")
+            return problem
+        if formulation != "binary":
+            raise ValueError("formulation must be 'fraction' or 'binary'")
+
+        objective: Dict[str, float] = {}
+        sum_z: Dict[str, float] = {}
+        heavy_demand: Dict[str, float] = {"x2": -t2}
+        for k, (threshold, fraction) in enumerate(self.threshold_grid):
+            name = f"z{k}"
+            problem.add_binary(name)
+            objective[name] = threshold
+            sum_z[name] = 1.0
+            heavy_demand[name] = demand * fraction
+
+        problem.set_objective(objective)
+        problem.add_eq(sum_z, 1.0, name="one-threshold")
+        problem.add_ge({"x1": t1}, demand, name="light-throughput")
+        problem.add_le(heavy_demand, 0.0, name="heavy-throughput")
+        problem.add_le({"x1": 1.0, "x2": 1.0}, S, name="device-budget")
+        return problem
+
+    def plan(self, ctx: ControlContext) -> AllocationPlan:
+        """Solve the allocation problem for the given control context."""
+        start = time.perf_counter()
+        demand = max(ctx.demand, 1e-3) * self.over_provision
+        max_threshold = max(t for t, _ in self.threshold_grid)
+        best: Optional[AllocationPlan] = None
+        # Larger batches give strictly higher worker throughput, so for each
+        # light batch size only the largest heavy batch that still fits the
+        # latency budget can be optimal; sweep light batches largest-first and
+        # stop as soon as the highest grid threshold is attainable.
+        for b1 in sorted(self.batch_candidates, reverse=True):
+            if self._light_execution(b1) > ctx.slo:
+                continue
+            feasible_b2 = [
+                b2
+                for b2 in self.batch_candidates
+                if self._heavy_execution(b2) <= ctx.slo
+                and self._latency_budget_ok(ctx, b1, b2, demand)
+            ]
+            for b2 in ([max(feasible_b2)] if feasible_b2 else []):
+                problem = self.build_problem(ctx, b1, b2, demand)
+                solution = self.solver.solve(problem)
+                if not solution.is_optimal:
+                    continue
+                threshold, fraction = self._threshold_from_solution(solution)
+                plan = AllocationPlan(
+                    num_light=solution.get_int("x1"),
+                    num_heavy=solution.get_int("x2"),
+                    light_batch=b1,
+                    heavy_batch=b2,
+                    threshold=threshold,
+                    heavy_fraction=fraction,
+                    feasible=True,
+                    objective=solution.objective,
+                    solver_time_s=solution.solve_time_s,
+                )
+                if best is None or self._plan_key(plan) > self._plan_key(best):
+                    best = plan
+                if best is not None and best.threshold >= max_threshold:
+                    break
+            if best is not None and best.threshold >= max_threshold:
+                break
+        elapsed = time.perf_counter() - start
+        self.last_solve_time_s = elapsed
+        self.solve_times.append(elapsed)
+        if best is None:
+            return self._best_effort_plan(ctx, elapsed)
+        best = self._assign_spare_workers(best, ctx.num_workers)
+        best.solver_time_s = elapsed
+        return best
+
+    @staticmethod
+    def _assign_spare_workers(plan: AllocationPlan, num_workers: int) -> AllocationPlan:
+        """Idle devices are wasted; give spares to whichever pool is in use.
+
+        Spare workers go to the heavy pool when the plan defers any queries
+        (extra heavy capacity shrinks queueing delays), otherwise to the light
+        pool.
+        """
+        spare = num_workers - plan.total_workers
+        if spare <= 0:
+            return plan
+        if plan.heavy_fraction > 0 and plan.num_heavy > 0:
+            plan.num_heavy += spare
+        else:
+            plan.num_light += spare
+        return plan
+
+    @staticmethod
+    def _plan_key(plan: AllocationPlan) -> Tuple[float, int, int]:
+        # Prefer higher threshold (the MILP objective); break ties towards
+        # larger batches, which give more throughput headroom under bursts.
+        return (plan.threshold, plan.light_batch, plan.heavy_batch)
+
+    def _threshold_from_solution(self, solution) -> Tuple[float, float]:
+        """Recover (threshold, deferred fraction) from either formulation."""
+        if "f" in solution.values:
+            fraction = float(np.clip(solution.values["f"], 0.0, 1.0))
+            # Largest grid threshold whose deferral fraction fits the solved f
+            # (the grid is the empirical f^{-1}).
+            candidates = [t for t, frac in self.threshold_grid if frac <= fraction + 1e-9]
+            threshold = max(candidates) if candidates else 0.0
+            return threshold, self.deferral_profile.fraction(threshold)
+        for k, (threshold, fraction) in enumerate(self.threshold_grid):
+            if solution.values.get(f"z{k}", 0.0) > 0.5:
+                return threshold, fraction
+        return 0.0, 0.0
+
+    def _best_effort_plan(self, ctx: ControlContext, elapsed: float) -> AllocationPlan:
+        """Overload fallback: serve everything with the light model, largest
+        batch that fits the SLO, and accept every image (threshold 0)."""
+        feasible_batches = [
+            b for b in self.batch_candidates if self._light_execution(b) <= ctx.slo
+        ]
+        batch = max(feasible_batches) if feasible_batches else max(self.batch_candidates)
+        return AllocationPlan(
+            num_light=ctx.num_workers,
+            num_heavy=0,
+            light_batch=batch,
+            heavy_batch=1,
+            threshold=0.0,
+            heavy_fraction=0.0,
+            feasible=False,
+            objective=None,
+            solver_time_s=elapsed,
+        )
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def mean_solve_time_s(self) -> float:
+        """Average wall-clock time of allocation solves so far."""
+        return float(np.mean(self.solve_times)) if self.solve_times else 0.0

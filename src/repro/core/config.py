@@ -1,0 +1,82 @@
+"""System configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.models.zoo import CascadeSpec
+
+
+class RoutingMode(enum.Enum):
+    """How the Load Balancer routes queries to model variants."""
+
+    #: Light model first, defer to heavy on low discriminator confidence
+    #: (DiffServe and DiffServe-Static).
+    CASCADE = "cascade"
+
+    #: All queries to a single model variant (Clipper-Light / Clipper-Heavy).
+    SINGLE = "single"
+
+    #: Content-agnostic random split across hosted variants proportional to
+    #: their provisioned capacity (Proteus).
+    RANDOM_SPLIT = "random_split"
+
+
+@dataclass
+class SystemConfig:
+    """Cluster- and experiment-level configuration.
+
+    Attributes
+    ----------
+    cascade:
+        The light/heavy diffusion model pair being served.
+    num_workers:
+        Number of GPU workers (the paper's testbed has 16).
+    slo:
+        Latency SLO in seconds (defaults to the cascade's paper SLO).
+    routing:
+        Routing mode of the Load Balancer.
+    control_period:
+        Controller re-allocation period (seconds).
+    over_provision:
+        Over-provisioning factor ``lambda`` applied to the estimated demand
+        (1.05 by default per Section 3.3).
+    drop_late_queries:
+        Whether workers preemptively drop queries predicted to miss their
+        deadline.
+    worker_reload_latency:
+        Time to load a different model variant onto a worker (seconds).
+    monitoring_window:
+        Length of the statistics window the Controller aggregates over.
+    seed:
+        Root random seed for the simulation.
+    """
+
+    cascade: CascadeSpec
+    num_workers: int = 16
+    slo: Optional[float] = None
+    routing: RoutingMode = RoutingMode.CASCADE
+    control_period: float = 5.0
+    over_provision: float = 1.05
+    drop_late_queries: bool = True
+    worker_reload_latency: float = 0.5
+    monitoring_window: float = 20.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.slo is None:
+            self.slo = self.cascade.slo
+        if self.slo <= 0:
+            raise ValueError("slo must be positive")
+        if self.control_period <= 0:
+            raise ValueError("control_period must be positive")
+        if self.over_provision < 1.0:
+            raise ValueError("over_provision must be >= 1.0")
+        if self.worker_reload_latency < 0:
+            raise ValueError("worker_reload_latency must be non-negative")
+        if self.monitoring_window <= 0:
+            raise ValueError("monitoring_window must be positive")

@@ -1,0 +1,155 @@
+"""Controller: the control path of the serving system.
+
+The Controller periodically collects runtime statistics from the workers and
+the Load Balancer (queue lengths, demands, deferral rates, SLO violations),
+estimates demand with an EWMA, asks its allocation policy for a new plan, and
+applies the plan by re-assigning model variants to workers, setting batch
+sizes and updating the cascade's confidence threshold (Sections 3.1/3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.allocator import AllocationPlan, ControlContext
+from repro.core.config import RoutingMode, SystemConfig
+from repro.core.demand import DemandEstimator
+from repro.core.load_balancer import LoadBalancer
+from repro.core.policies import AllocationPolicy
+from repro.core.repository import ModelRepository
+from repro.core.results import ControlSnapshot, ResultCollector
+from repro.core.worker import Worker
+from repro.discriminators.base import Discriminator
+from repro.simulator.simulation import Actor, Simulator
+
+
+class Controller(Actor):
+    """Applies allocation plans produced by an :class:`AllocationPolicy`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        workers: List[Worker],
+        load_balancer: LoadBalancer,
+        collector: ResultCollector,
+        policy: AllocationPolicy,
+        repository: ModelRepository,
+        discriminator: Optional[Discriminator],
+        *,
+        initial_demand: float = 1.0,
+    ) -> None:
+        super().__init__(sim, name="controller")
+        self.config = config
+        self.workers = workers
+        self.load_balancer = load_balancer
+        self.collector = collector
+        self.policy = policy
+        self.repository = repository
+        self.discriminator = discriminator
+        self.demand_estimator = DemandEstimator(alpha=0.5, initial=initial_demand)
+        self.current_plan: Optional[AllocationPlan] = None
+        self.history: List[ControlSnapshot] = []
+        self.solve_times: List[float] = []
+
+    # ---------------------------------------------------------------- start
+    def start(self) -> None:
+        """Apply the initial plan and begin the control loop."""
+        ctx = self._build_context()
+        plan = self.policy.plan(ctx)
+        self._apply_plan(plan)
+        if self.policy.dynamic:
+            self.sim.schedule(self.config.control_period, self._control_tick, name="control-tick")
+
+    # ----------------------------------------------------------- control loop
+    def _control_tick(self) -> None:
+        arrivals = self.load_balancer.arrivals_in_window(self.config.control_period)
+        self.demand_estimator.observe(arrivals, self.config.control_period)
+
+        lb_stats = self.load_balancer.collect_stats()
+        observed_deferral = lb_stats.observed_deferral_rate
+        if observed_deferral is not None and self.current_plan is not None:
+            self.policy_deferral_update(self.current_plan.threshold, observed_deferral)
+
+        ctx = self._build_context(observed_deferral)
+        plan = self.policy.plan(ctx)
+        self._apply_plan(plan)
+        self.sim.schedule(self.config.control_period, self._control_tick, name="control-tick")
+
+    def policy_deferral_update(self, threshold: float, observed_fraction: float) -> None:
+        """Blend the observed deferral rate into the policy's deferral profile."""
+        allocator = getattr(self.policy, "allocator", None)
+        if allocator is None:
+            return
+        allocator.deferral_profile.update_online(threshold, observed_fraction)
+        allocator.refresh_threshold_grid()
+
+    def _build_context(self, observed_deferral: Optional[float] = None) -> ControlContext:
+        light_queue = sum(w.queue_length for w in self.load_balancer.light_pool)
+        heavy_queue = sum(w.queue_length for w in self.load_balancer.heavy_pool)
+        violations, completions = self.collector.window_stats()
+        return ControlContext(
+            demand=self.demand_estimator.estimate,
+            slo=self.config.slo,
+            num_workers=self.config.num_workers,
+            light_queue_length=light_queue,
+            heavy_queue_length=heavy_queue,
+            observed_deferral=observed_deferral,
+            slo_violations_in_window=violations,
+            completions_in_window=completions,
+            current_plan=self.current_plan,
+        )
+
+    # -------------------------------------------------------------- applying
+    def _apply_plan(self, plan: AllocationPlan) -> None:
+        self.current_plan = plan
+        self.solve_times.append(plan.solver_time_s)
+
+        if plan.light_variant is not None:
+            light_variant = plan.light_variant
+        elif plan.light_variant_name:
+            light_variant = self.repository.get_variant(plan.light_variant_name)
+        else:
+            light_variant = self.config.cascade.light
+        if plan.heavy_variant is not None:
+            heavy_variant = plan.heavy_variant
+        elif plan.heavy_variant_name:
+            heavy_variant = self.repository.get_variant(plan.heavy_variant_name)
+        else:
+            heavy_variant = self.config.cascade.heavy
+        use_discriminator = self.config.routing == RoutingMode.CASCADE
+
+        num_light = min(plan.num_light, len(self.workers))
+        light_pool = self.workers[:num_light]
+        heavy_pool = self.workers[num_light : num_light + plan.num_heavy]
+
+        for worker in light_pool:
+            worker.set_variant(
+                light_variant, self.discriminator if use_discriminator else None
+            )
+            worker.set_batch_size(plan.light_batch)
+        for worker in heavy_pool:
+            worker.set_variant(heavy_variant, None)
+            worker.set_batch_size(plan.heavy_batch)
+
+        self.load_balancer.set_pools(light_pool, heavy_pool)
+        self.load_balancer.set_threshold(plan.threshold)
+        self.load_balancer.set_heavy_fraction(plan.heavy_fraction)
+        self.load_balancer.heavy_latency_estimate = heavy_variant.execution_latency(
+            plan.heavy_batch
+        )
+        self.load_balancer.heavy_batch_estimate = plan.heavy_batch
+
+        self.history.append(
+            ControlSnapshot(
+                time=self.now,
+                threshold=plan.threshold,
+                num_light=len(light_pool),
+                num_heavy=len(heavy_pool),
+                light_batch=plan.light_batch,
+                heavy_batch=plan.heavy_batch,
+                demand_estimate=self.demand_estimator.estimate,
+                feasible=plan.feasible,
+            )
+        )

@@ -1,0 +1,210 @@
+"""Load Balancer: routes queries along the data path.
+
+The Load Balancer sits between clients and workers.  Under cascade routing it
+first sends every query to a worker hosting the lightweight model and its
+discriminator; if the returned confidence meets the threshold, the image is
+the response, otherwise the query is forwarded to a worker hosting the
+heavyweight model (Figure 2).  It also implements the single-model routing of
+the Clipper baselines and the content-agnostic random split used by Proteus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import RoutingMode
+from repro.core.query import Query, QueryStage
+from repro.core.worker import WorkItem, Worker
+from repro.models.generation import GeneratedImage
+from repro.simulator.simulation import Actor, Simulator
+
+
+@dataclass
+class LoadBalancerStats:
+    """Per-window statistics reported to the Controller."""
+
+    arrivals: int = 0
+    deferred: int = 0
+    returned_light: int = 0
+    returned_heavy: int = 0
+    dropped: int = 0
+
+    def reset(self) -> None:
+        """Clear the per-window counters."""
+        self.arrivals = 0
+        self.deferred = 0
+        self.returned_light = 0
+        self.returned_heavy = 0
+        self.dropped = 0
+
+    @property
+    def observed_deferral_rate(self) -> Optional[float]:
+        """Fraction of light completions that were deferred (None if no data)."""
+        light_decisions = self.deferred + self.returned_light
+        if light_decisions == 0:
+            return None
+        return self.deferred / light_decisions
+
+
+class LoadBalancer(Actor):
+    """Routes queries to workers and escalates low-confidence responses."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        routing: RoutingMode,
+        threshold: float = 0.5,
+        heavy_fraction: float = 0.0,
+        on_response: Optional[Callable[[Query, GeneratedImage, QueryStage, Optional[float], bool], None]] = None,
+        on_drop: Optional[Callable[[Query], None]] = None,
+    ) -> None:
+        super().__init__(sim, name="load-balancer")
+        self.routing = routing
+        self.threshold = threshold
+        #: Fraction of queries sent directly to the heavy pool under
+        #: RANDOM_SPLIT routing (set by the Proteus-style controller).
+        self.heavy_fraction = heavy_fraction
+        #: Estimated execution latency and batch size of the heavy pool (set
+        #: by the Controller from the current plan); a low-confidence query is
+        #: only deferred if the estimated heavy-side completion time (queueing
+        #: plus execution) still fits within its deadline, otherwise the light
+        #: image is returned as a degraded response.
+        self.heavy_latency_estimate = 0.0
+        self.heavy_batch_estimate = 1
+        self.on_response = on_response
+        self.on_drop = on_drop
+        self.light_pool: List[Worker] = []
+        self.heavy_pool: List[Worker] = []
+        self.stats = LoadBalancerStats()
+        self._rng = sim.rng.stream("load-balancer")
+        self._arrival_times: List[float] = []
+
+    # ----------------------------------------------------------- control path
+    def set_threshold(self, threshold: float) -> None:
+        """Update the cascade confidence threshold."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        self.threshold = float(threshold)
+
+    def set_heavy_fraction(self, fraction: float) -> None:
+        """Update the random-split heavy fraction (Proteus routing)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        self.heavy_fraction = float(fraction)
+
+    def set_pools(self, light_pool: List[Worker], heavy_pool: List[Worker]) -> None:
+        """Update which workers host the light and heavy models."""
+        self.light_pool = list(light_pool)
+        self.heavy_pool = list(heavy_pool)
+        for worker in self.light_pool + self.heavy_pool:
+            worker.on_complete = self._on_worker_complete
+            worker.on_drop = self._on_worker_drop
+
+    # ------------------------------------------------------------- data path
+    def submit(self, query: Query) -> None:
+        """Entry point for client queries."""
+        self.stats.arrivals += 1
+        self._arrival_times.append(self.now)
+        if self.routing == RoutingMode.CASCADE:
+            pool, stage = (self.light_pool, "light") if self.light_pool else (self.heavy_pool, "heavy")
+        elif self.routing == RoutingMode.SINGLE:
+            # Whatever pool is non-empty serves everything.
+            pool, stage = (
+                (self.light_pool, "light") if self.light_pool else (self.heavy_pool, "heavy")
+            )
+        elif self.routing == RoutingMode.RANDOM_SPLIT:
+            go_heavy = self.heavy_pool and self._rng.random() < self.heavy_fraction
+            pool, stage = (self.heavy_pool, "heavy") if go_heavy else (self.light_pool, "light")
+            if not pool:
+                pool, stage = (self.heavy_pool, "heavy") if self.heavy_pool else (self.light_pool, "light")
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown routing mode {self.routing}")
+
+        if not pool:
+            self._drop(query)
+            return
+        worker = self._least_loaded(pool)
+        worker.enqueue(WorkItem(query=query, stage=stage, enqueue_time=self.now))
+
+    def _least_loaded(self, pool: List[Worker]) -> Worker:
+        return min(pool, key=lambda w: (w.queue_length + (1 if w.busy else 0), w.worker_id))
+
+    def _heavy_completion_estimate(self) -> float:
+        """Estimated time for a newly deferred query to finish on the heavy pool.
+
+        The estimate counts the queued batches ahead of the query plus its own
+        batch; an in-flight batch counts as half a batch (on average it is
+        halfway done).
+        """
+        if not self.heavy_pool or self.heavy_latency_estimate <= 0:
+            return self.heavy_latency_estimate
+        worker = self._least_loaded(self.heavy_pool)
+        pending = worker.queue_length + (0.5 if worker.busy else 0.0)
+        batches_ahead = pending / max(self.heavy_batch_estimate, 1)
+        return (batches_ahead + 1.0) * self.heavy_latency_estimate
+
+    # -------------------------------------------------------------- callbacks
+    def _on_worker_complete(
+        self, item: WorkItem, image: GeneratedImage, confidence: Optional[float]
+    ) -> None:
+        query = item.query
+        if item.stage == "light" and self.routing == RoutingMode.CASCADE:
+            accept = confidence is None or confidence >= self.threshold
+            can_defer = bool(self.heavy_pool) and (
+                self.now + self._heavy_completion_estimate() <= query.deadline
+            )
+            if accept or not can_defer:
+                self.stats.returned_light += 1
+                self._respond(query, image, QueryStage.LIGHT, confidence, deferred=False)
+            else:
+                self.stats.deferred += 1
+                worker = self._least_loaded(self.heavy_pool)
+                worker.enqueue(WorkItem(query=query, stage="heavy", enqueue_time=self.now))
+        else:
+            stage = QueryStage.HEAVY if item.stage == "heavy" else QueryStage.LIGHT
+            if stage == QueryStage.HEAVY:
+                self.stats.returned_heavy += 1
+            else:
+                self.stats.returned_light += 1
+            self._respond(query, image, stage, confidence, deferred=item.stage == "heavy")
+
+    def _on_worker_drop(self, item: WorkItem) -> None:
+        self._drop(item.query)
+
+    def _respond(
+        self,
+        query: Query,
+        image: GeneratedImage,
+        stage: QueryStage,
+        confidence: Optional[float],
+        deferred: bool,
+    ) -> None:
+        if self.on_response is not None:
+            self.on_response(query, image, stage, confidence, deferred)
+
+    def _drop(self, query: Query) -> None:
+        self.stats.dropped += 1
+        if self.on_drop is not None:
+            self.on_drop(query)
+
+    # ------------------------------------------------------------- statistics
+    def arrivals_in_window(self, window: float) -> int:
+        """Number of arrivals in the last ``window`` seconds."""
+        cutoff = self.now - window
+        return sum(1 for t in self._arrival_times if t >= cutoff)
+
+    def collect_stats(self) -> LoadBalancerStats:
+        """Return and reset per-window statistics."""
+        snapshot = LoadBalancerStats(
+            arrivals=self.stats.arrivals,
+            deferred=self.stats.deferred,
+            returned_light=self.stats.returned_light,
+            returned_heavy=self.stats.returned_heavy,
+            dropped=self.stats.dropped,
+        )
+        self.stats.reset()
+        return snapshot

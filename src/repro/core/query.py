@@ -1,0 +1,94 @@
+"""Query and per-query result record types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class QueryStage(enum.Enum):
+    """Which stage of the cascade produced the final response."""
+
+    LIGHT = "light"
+    HEAVY = "heavy"
+    DROPPED = "dropped"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A client query (text prompt) entering the system.
+
+    Attributes
+    ----------
+    query_id:
+        Unique, monotonically increasing identifier.
+    arrival_time:
+        Simulation time at which the query arrived at the Load Balancer.
+    prompt:
+        Prompt text (used only for bookkeeping; the substrate works from the
+        latent difficulty).
+    difficulty:
+        Latent difficulty in [0, 1].
+    slo:
+        Latency SLO of this query (seconds).
+    """
+
+    query_id: int
+    arrival_time: float
+    prompt: str
+    difficulty: float
+    slo: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError("difficulty must lie in [0, 1]")
+        if self.slo <= 0:
+            raise ValueError("slo must be positive")
+
+    @property
+    def deadline(self) -> float:
+        """Absolute completion deadline."""
+        return self.arrival_time + self.slo
+
+
+@dataclass
+class QueryRecord:
+    """The outcome of one query, recorded by the result collector.
+
+    A dropped query has ``completion_time is None`` and ``stage == DROPPED``.
+    """
+
+    query: Query
+    stage: QueryStage
+    completion_time: Optional[float] = None
+    model_used: Optional[str] = None
+    quality: Optional[float] = None
+    features: Optional[np.ndarray] = None
+    confidence: Optional[float] = None
+    deferred: bool = False
+    light_latency: Optional[float] = None
+
+    @property
+    def dropped(self) -> bool:
+        """Whether the query was dropped before completion."""
+        return self.stage == QueryStage.DROPPED
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency (None for dropped queries)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.query.arrival_time
+
+    @property
+    def slo_violated(self) -> bool:
+        """True if the query was dropped or finished after its deadline."""
+        if self.dropped:
+            return True
+        assert self.completion_time is not None
+        return self.completion_time > self.query.deadline

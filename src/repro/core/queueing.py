@@ -1,0 +1,67 @@
+"""Queueing-delay models.
+
+DiffServe estimates per-model queueing delays with Little's law
+``W = L / lambda`` using the queue lengths and per-pool demands collected by
+the Controller (Section 3.3).  The "no queuing model" ablation in Section 4.5
+replaces this with the heuristic used by prior work (Proteus): assume the
+queueing delay is twice the execution latency.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class QueueingModel(abc.ABC):
+    """Estimates the queueing (waiting) delay of a query at a worker pool."""
+
+    @abc.abstractmethod
+    def waiting_time(
+        self, queue_length: float, arrival_rate: float, execution_latency: float
+    ) -> float:
+        """Estimated waiting time (seconds) before a query starts executing.
+
+        Parameters
+        ----------
+        queue_length:
+            Total number of queries currently queued across the pool.
+        arrival_rate:
+            Arrival rate seen by the pool (queries/second).
+        execution_latency:
+            Execution latency of one batch at the pool's batch size.
+        """
+
+
+@dataclass
+class LittlesLawModel(QueueingModel):
+    """Little's law: ``W = L / lambda``, with a floor of one batch execution.
+
+    The floor accounts for the fact that even an empty queue may have to wait
+    for the in-flight batch to finish before a new query is picked up.
+    """
+
+    min_rate: float = 1e-3
+
+    def waiting_time(
+        self, queue_length: float, arrival_rate: float, execution_latency: float
+    ) -> float:
+        if queue_length < 0 or arrival_rate < 0 or execution_latency < 0:
+            raise ValueError("inputs must be non-negative")
+        rate = max(arrival_rate, self.min_rate)
+        littles = queue_length / rate
+        return max(littles, execution_latency / 2.0)
+
+
+@dataclass
+class TwoXExecutionModel(QueueingModel):
+    """Prior-work heuristic: queueing delay is a fixed multiple of execution time."""
+
+    multiplier: float = 2.0
+
+    def waiting_time(
+        self, queue_length: float, arrival_rate: float, execution_latency: float
+    ) -> float:
+        if execution_latency < 0:
+            raise ValueError("execution_latency must be non-negative")
+        return self.multiplier * execution_latency

@@ -1,0 +1,73 @@
+"""Model repository.
+
+The Model Repository manages registered diffusion model variants and the
+discriminators used to cascade between them (Section 3.1).  Workers "load"
+models from the repository (incurring a reload latency), and the Controller
+looks up latency profiles for the resource allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.discriminators.base import Discriminator
+from repro.models.variants import ModelVariant
+
+
+class ModelRepository:
+    """Registry of model variants and the discriminators that cascade them."""
+
+    def __init__(self) -> None:
+        self._variants: Dict[str, ModelVariant] = {}
+        self._discriminators: Dict[Tuple[str, str], Discriminator] = {}
+
+    # -------------------------------------------------------------- variants
+    def register_variant(self, variant: ModelVariant) -> None:
+        """Register a diffusion model variant (idempotent for identical variants)."""
+        existing = self._variants.get(variant.name)
+        if existing is not None and existing != variant:
+            raise ValueError(f"variant {variant.name!r} already registered with different config")
+        self._variants[variant.name] = variant
+
+    def get_variant(self, name: str) -> ModelVariant:
+        """Look up a registered variant."""
+        try:
+            return self._variants[name]
+        except KeyError:
+            known = ", ".join(sorted(self._variants))
+            raise KeyError(f"variant {name!r} not registered; known: {known}") from None
+
+    def variants(self) -> List[ModelVariant]:
+        """All registered variants."""
+        return list(self._variants.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._variants
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    # -------------------------------------------------------- discriminators
+    def register_discriminator(
+        self, light_name: str, heavy_name: str, discriminator: Discriminator
+    ) -> None:
+        """Register the discriminator used to cascade ``light_name`` into ``heavy_name``."""
+        if light_name not in self._variants:
+            raise KeyError(f"light variant {light_name!r} not registered")
+        if heavy_name not in self._variants:
+            raise KeyError(f"heavy variant {heavy_name!r} not registered")
+        self._discriminators[(light_name, heavy_name)] = discriminator
+
+    def get_discriminator(self, light_name: str, heavy_name: str) -> Discriminator:
+        """Discriminator registered for a light/heavy pair."""
+        try:
+            return self._discriminators[(light_name, heavy_name)]
+        except KeyError:
+            raise KeyError(
+                f"no discriminator registered for cascade {light_name!r} -> {heavy_name!r}"
+            ) from None
+
+    def cascades(self) -> List[Tuple[str, str]]:
+        """All registered (light, heavy) cascade pairs."""
+        return list(self._discriminators)

@@ -1,0 +1,211 @@
+"""Result collection and post-run analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.query import Query, QueryRecord, QueryStage
+from repro.metrics.fid import fid_score, windowed_fid
+from repro.metrics.latency import LatencyStats
+from repro.metrics.slo import SLOReport
+from repro.models.dataset import QueryDataset
+from repro.models.generation import GeneratedImage
+
+
+@dataclass
+class ControlSnapshot:
+    """One Controller decision, recorded for the time-series figures."""
+
+    time: float
+    threshold: float
+    num_light: int
+    num_heavy: int
+    light_batch: int
+    heavy_batch: int
+    demand_estimate: float
+    feasible: bool
+
+
+class ResultCollector:
+    """Sink of the data path: stores one :class:`QueryRecord` per query."""
+
+    def __init__(self, dataset: QueryDataset) -> None:
+        self.dataset = dataset
+        self.records: List[QueryRecord] = []
+        self._violations_window = 0
+        self._completions_window = 0
+
+    # ------------------------------------------------------------- data path
+    def complete(
+        self,
+        query: Query,
+        image: GeneratedImage,
+        stage: QueryStage,
+        confidence: Optional[float],
+        deferred: bool,
+        completion_time: float,
+    ) -> None:
+        """Record a completed query."""
+        record = QueryRecord(
+            query=query,
+            stage=stage,
+            completion_time=completion_time,
+            model_used=image.variant_name,
+            quality=image.quality,
+            features=image.features,
+            confidence=confidence,
+            deferred=deferred,
+        )
+        self.records.append(record)
+        self._completions_window += 1
+        if record.slo_violated:
+            self._violations_window += 1
+
+    def drop(self, query: Query) -> None:
+        """Record a dropped query."""
+        self.records.append(QueryRecord(query=query, stage=QueryStage.DROPPED))
+        self._violations_window += 1
+
+    # ----------------------------------------------------------- control path
+    def window_stats(self) -> Tuple[int, int]:
+        """(violations, completions) since the last call; resets the counters."""
+        stats = (self._violations_window, self._completions_window)
+        self._violations_window = 0
+        self._completions_window = 0
+        return stats
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one serving simulation run."""
+
+    records: List[QueryRecord]
+    dataset: QueryDataset
+    slo: float
+    duration: float
+    control_history: List[ControlSnapshot] = field(default_factory=list)
+    allocator_solve_times: List[float] = field(default_factory=list)
+    system_name: str = "system"
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def total_queries(self) -> int:
+        """Number of queries that entered the system."""
+        return len(self.records)
+
+    @property
+    def completed_records(self) -> List[QueryRecord]:
+        """Records of queries that received a response."""
+        return [r for r in self.records if not r.dropped]
+
+    @property
+    def dropped_count(self) -> int:
+        """Number of dropped queries."""
+        return sum(1 for r in self.records if r.dropped)
+
+    def slo_report(self) -> SLOReport:
+        """Aggregate SLO accounting for the whole run."""
+        completed = self.completed_records
+        violated = sum(1 for r in completed if r.slo_violated)
+        return SLOReport(
+            total=self.total_queries,
+            completed=len(completed),
+            violated=violated,
+            dropped=self.dropped_count,
+        )
+
+    @property
+    def slo_violation_ratio(self) -> float:
+        """Fraction of queries that missed their SLO or were dropped."""
+        return self.slo_report().violation_ratio
+
+    @property
+    def deferral_rate(self) -> float:
+        """Fraction of completed queries answered by the heavy model."""
+        completed = self.completed_records
+        if not completed:
+            return 0.0
+        return sum(1 for r in completed if r.stage == QueryStage.HEAVY) / len(completed)
+
+    def latency_stats(self) -> LatencyStats:
+        """Latency summary over completed queries."""
+        return LatencyStats.from_latencies(
+            [r.latency for r in self.completed_records if r.latency is not None]
+        )
+
+    # --------------------------------------------------------------- quality
+    def response_features(self) -> np.ndarray:
+        """Feature matrix of all returned images."""
+        feats = [r.features for r in self.completed_records if r.features is not None]
+        if not feats:
+            return np.zeros((0, self.dataset.real_features.shape[1]))
+        return np.stack(feats)
+
+    def fid(self) -> float:
+        """FID of the returned images against the dataset's real features."""
+        feats = self.response_features()
+        if len(feats) < 2:
+            return float("nan")
+        return fid_score(feats, self.dataset.real_features)
+
+    def mean_quality(self) -> float:
+        """Average latent quality of returned images (oracle view, for tests)."""
+        qualities = [r.quality for r in self.completed_records if r.quality is not None]
+        return float(np.mean(qualities)) if qualities else float("nan")
+
+    # ------------------------------------------------------------ timeseries
+    def fid_timeseries(self, window: float = 20.0) -> Tuple[np.ndarray, np.ndarray]:
+        """FID over completion-time windows."""
+        completed = [r for r in self.completed_records if r.features is not None]
+        if not completed:
+            return np.zeros(0), np.zeros(0)
+        times = np.array([r.completion_time for r in completed])
+        feats = np.stack([r.features for r in completed])
+        return windowed_fid(times, feats, self.dataset.real_features, window, self.duration)
+
+    def violation_timeseries(self, window: float = 20.0) -> Tuple[np.ndarray, np.ndarray]:
+        """SLO violation ratio over arrival-time windows."""
+        edges = np.arange(0.0, self.duration + window, window)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        ratios = np.zeros(len(centers))
+        for i, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
+            in_window = [r for r in self.records if lo <= r.query.arrival_time < hi]
+            if not in_window:
+                ratios[i] = 0.0
+                continue
+            bad = sum(1 for r in in_window if r.slo_violated)
+            ratios[i] = bad / len(in_window)
+        return centers, ratios
+
+    def demand_timeseries(self, window: float = 20.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Observed arrival rate over time."""
+        edges = np.arange(0.0, self.duration + window, window)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        arrivals = np.array([r.query.arrival_time for r in self.records])
+        counts, _ = np.histogram(arrivals, bins=edges)
+        return centers, counts / window
+
+    def threshold_timeseries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Confidence threshold chosen by the Controller over time."""
+        if not self.control_history:
+            return np.zeros(0), np.zeros(0)
+        times = np.array([s.time for s in self.control_history])
+        thresholds = np.array([s.threshold for s in self.control_history])
+        return times, thresholds
+
+    # --------------------------------------------------------------- summary
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics as a flat dict (used by the benchmark harness)."""
+        stats = self.latency_stats()
+        return {
+            "total_queries": float(self.total_queries),
+            "fid": self.fid(),
+            "slo_violation_ratio": self.slo_violation_ratio,
+            "deferral_rate": self.deferral_rate,
+            "dropped": float(self.dropped_count),
+            "mean_latency": stats.mean,
+            "p99_latency": stats.p99,
+        }

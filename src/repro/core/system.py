@@ -1,0 +1,229 @@
+"""End-to-end serving simulation wiring.
+
+:class:`ServingSimulation` assembles the client source, Load Balancer,
+workers, Controller and result collector on top of the discrete-event
+simulator, runs a workload trace through the system, and returns a
+:class:`~repro.core.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import RoutingMode, SystemConfig
+from repro.core.controller import Controller
+from repro.core.load_balancer import LoadBalancer
+from repro.core.policies import AllocationPolicy, DiffServePolicy, make_diffserve_policy
+from repro.core.query import Query
+from repro.core.repository import ModelRepository
+from repro.core.results import ResultCollector, SimulationResult
+from repro.core.worker import Worker
+from repro.discriminators.base import Discriminator
+from repro.discriminators.deferral import DeferralProfile
+from repro.discriminators.training import train_default_discriminator
+from repro.models.dataset import QueryDataset
+from repro.models.generation import ImageGenerator
+from repro.models.zoo import MODEL_ZOO
+from repro.simulator.simulation import Actor, Simulator
+from repro.traces.base import ArrivalTrace, RateCurve
+
+
+class ClientSource(Actor):
+    """Replays an arrival trace as client queries against the Load Balancer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: ArrivalTrace,
+        dataset: QueryDataset,
+        load_balancer: LoadBalancer,
+        slo: float,
+    ) -> None:
+        super().__init__(sim, name="client")
+        self.trace = trace
+        self.dataset = dataset
+        self.load_balancer = load_balancer
+        self.slo = slo
+        self.queries: List[Query] = []
+
+    def start(self) -> None:
+        """Schedule every arrival in the trace."""
+        for query_id, arrival in enumerate(self.trace.arrival_times):
+            query = Query(
+                query_id=query_id,
+                arrival_time=float(arrival),
+                prompt=self.dataset.prompt(query_id),
+                difficulty=self.dataset.difficulty(query_id),
+                slo=self.slo,
+            )
+            self.queries.append(query)
+            self.sim.schedule_at(
+                float(arrival), lambda q=query: self.load_balancer.submit(q), name="arrival"
+            )
+
+
+@dataclass
+class ServingSimulation:
+    """A configured serving system ready to run a trace.
+
+    Parameters
+    ----------
+    config:
+        Cluster and routing configuration.
+    dataset:
+        Query dataset driving prompt difficulties and the FID reference.
+    policy:
+        Allocation policy used by the Controller.
+    discriminator:
+        Discriminator used for cascade routing (ignored by non-cascade modes).
+    initial_demand:
+        Demand estimate used for the very first allocation (before any
+        arrivals have been observed); static baselines pass their
+        peak-provisioning demand here.
+    name:
+        Label attached to the result (used in figures/tables).
+    """
+
+    config: SystemConfig
+    dataset: QueryDataset
+    policy: AllocationPolicy
+    discriminator: Optional[Discriminator] = None
+    initial_demand: float = 1.0
+    name: str = "diffserve"
+
+    def run(self, trace: ArrivalTrace, *, duration: Optional[float] = None) -> SimulationResult:
+        """Run the trace through the system and collect results."""
+        sim = Simulator(seed=self.config.seed)
+        generator = ImageGenerator(seed=self.config.seed)
+        collector = ResultCollector(self.dataset)
+
+        load_balancer = LoadBalancer(
+            sim,
+            routing=self.config.routing,
+            on_response=lambda query, image, stage, conf, deferred: collector.complete(
+                query, image, stage, conf, deferred, sim.now
+            ),
+            on_drop=collector.drop,
+        )
+
+        workers = [
+            Worker(
+                sim,
+                worker_id=i,
+                variant=self.config.cascade.light,
+                generator=generator,
+                discriminator=self.discriminator
+                if self.config.routing == RoutingMode.CASCADE
+                else None,
+                drop_late=self.config.drop_late_queries,
+                reload_latency=self.config.worker_reload_latency,
+            )
+            for i in range(self.config.num_workers)
+        ]
+
+        repository = ModelRepository()
+        for variant in MODEL_ZOO.values():
+            repository.register_variant(variant)
+        for variant in (self.config.cascade.light, self.config.cascade.heavy):
+            if variant.name not in repository:
+                repository.register_variant(variant)
+
+        controller = Controller(
+            sim,
+            self.config,
+            workers,
+            load_balancer,
+            collector,
+            self.policy,
+            repository,
+            self.discriminator,
+            initial_demand=self.initial_demand,
+        )
+
+        ClientSource(sim, trace, self.dataset, load_balancer, self.config.slo)
+
+        horizon = duration
+        if horizon is None:
+            # Leave room for the last queries to drain (a few SLOs past the
+            # final arrival).
+            horizon = trace.duration + 4 * self.config.slo
+        sim.run(until=horizon)
+
+        return SimulationResult(
+            records=collector.records,
+            dataset=self.dataset,
+            slo=self.config.slo,
+            duration=horizon,
+            control_history=list(controller.history),
+            allocator_solve_times=list(controller.solve_times),
+            system_name=self.name,
+        )
+
+
+def build_diffserve_system(
+    cascade_name: str = "sdturbo",
+    *,
+    num_workers: int = 16,
+    slo: Optional[float] = None,
+    dataset: Optional[QueryDataset] = None,
+    discriminator: Optional[Discriminator] = None,
+    deferral_profile: Optional[DeferralProfile] = None,
+    over_provision: float = 1.05,
+    control_period: float = 5.0,
+    seed: int = 0,
+    dataset_size: int = 1000,
+    policy_variant: str = "full",
+    static_threshold: float = 0.5,
+) -> ServingSimulation:
+    """Build a ready-to-run DiffServe system for a named cascade.
+
+    This is the main public entry point: it loads the cascade's dataset,
+    trains the discriminator (EfficientNet with ground-truth images), profiles
+    the deferral function, and assembles the full system.  Pass
+    ``policy_variant`` to select one of the Section 4.5 ablations
+    (``"static-threshold"``, ``"aimd"``, ``"no-queueing"``).
+    """
+    from repro.models.dataset import load_dataset
+    from repro.models.zoo import get_cascade
+
+    cascade = get_cascade(cascade_name)
+    if dataset is None:
+        dataset = load_dataset(cascade.dataset, n=dataset_size, seed=seed)
+    if discriminator is None:
+        discriminator = train_default_discriminator(
+            dataset, cascade.light, cascade.heavy, seed=seed
+        )
+    if deferral_profile is None:
+        deferral_profile = DeferralProfile.profile(
+            discriminator, dataset, cascade.light, seed=seed
+        )
+
+    config = SystemConfig(
+        cascade=cascade,
+        num_workers=num_workers,
+        slo=slo,
+        routing=RoutingMode.CASCADE,
+        control_period=control_period,
+        over_provision=over_provision,
+        seed=seed,
+    )
+    policy = make_diffserve_policy(
+        cascade.light,
+        cascade.heavy,
+        deferral_profile,
+        discriminator_latency=discriminator.latency_s,
+        over_provision=over_provision,
+        variant=policy_variant,
+        static_threshold=static_threshold,
+    )
+    name = "diffserve" if policy_variant == "full" else f"diffserve-{policy_variant}"
+    return ServingSimulation(
+        config=config,
+        dataset=dataset,
+        policy=policy,
+        discriminator=discriminator,
+        name=name,
+    )

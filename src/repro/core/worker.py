@@ -1,0 +1,206 @@
+"""Worker: hosts one model variant, batches queries from its local queue.
+
+Each worker executes its hosted model variant on the queries routed to it and
+kept in its local queue (Section 3.1).  Workers hosting the lightweight model
+also run the discriminator on their outputs.  The batch size, hosted variant,
+and (for light workers) the confidence threshold are set by the Controller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.core.query import Query
+from repro.discriminators.base import Discriminator
+from repro.models.dataset import QueryDataset
+from repro.models.generation import GeneratedImage, ImageGenerator
+from repro.models.profiles import ProfiledTable
+from repro.models.variants import ModelVariant
+from repro.simulator.simulation import Actor, Simulator
+
+
+@dataclass
+class WorkItem:
+    """A query queued at a worker, tagged with its cascade stage."""
+
+    query: Query
+    stage: str  # "light" or "heavy"
+    enqueue_time: float
+
+
+@dataclass
+class WorkerStats:
+    """Runtime statistics reported to the Controller each control period."""
+
+    arrivals: int = 0
+    completions: int = 0
+    drops: int = 0
+    busy_time: float = 0.0
+    batches: int = 0
+
+    def reset(self) -> None:
+        """Clear the per-window counters."""
+        self.arrivals = 0
+        self.completions = 0
+        self.drops = 0
+        self.busy_time = 0.0
+        self.batches = 0
+
+
+class Worker(Actor):
+    """A GPU worker hosting one diffusion model variant.
+
+    The worker keeps a FIFO queue; whenever it is idle and the queue is
+    non-empty it immediately starts a batch of up to ``batch_size`` queries
+    (partial batches are allowed, so low load gets low latency).  Execution
+    time is drawn from the variant's latency profile; light workers add the
+    discriminator's per-image latency.  Queries predicted to miss their
+    deadline are dropped at dequeue time when ``drop_late`` is enabled.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        worker_id: int,
+        variant: ModelVariant,
+        generator: ImageGenerator,
+        *,
+        batch_size: int = 1,
+        discriminator: Optional[Discriminator] = None,
+        drop_late: bool = True,
+        reload_latency: float = 0.5,
+        on_complete: Optional[Callable[[WorkItem, GeneratedImage, Optional[float]], None]] = None,
+        on_drop: Optional[Callable[[WorkItem], None]] = None,
+    ) -> None:
+        super().__init__(sim, name=f"worker-{worker_id}")
+        self.worker_id = worker_id
+        self.variant = variant
+        self.generator = generator
+        self.batch_size = batch_size
+        self.discriminator = discriminator
+        self.drop_late = drop_late
+        self.reload_latency = reload_latency
+        self.on_complete = on_complete
+        self.on_drop = on_drop
+
+        self.queue: Deque[WorkItem] = deque()
+        self.busy = False
+        self.stats = WorkerStats()
+        self.profiled = ProfiledTable(profile=variant.latency)
+        self._rng = sim.rng.spawn("worker-latency", worker_id)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def queue_length(self) -> int:
+        """Number of queries waiting in the local queue."""
+        return len(self.queue)
+
+    @property
+    def stage(self) -> str:
+        """Cascade stage of this worker ("light" if it runs a discriminator)."""
+        return "light" if self.discriminator is not None else "heavy"
+
+    # ----------------------------------------------------------- control path
+    def set_batch_size(self, batch_size: int) -> None:
+        """Update the batch size (takes effect from the next batch)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+
+    def set_variant(
+        self, variant: ModelVariant, discriminator: Optional[Discriminator] = None
+    ) -> None:
+        """Switch the hosted model variant (incurring a reload delay if it changes)."""
+        changed = variant.name != self.variant.name
+        self.variant = variant
+        self.discriminator = discriminator
+        if changed:
+            self.profiled = ProfiledTable(profile=variant.latency)
+            if self.reload_latency > 0:
+                # Block the worker for the model reload.
+                self.busy = True
+                self.sim.schedule(self.reload_latency, self._finish_reload, name=f"{self.name}-reload")
+
+    def _finish_reload(self) -> None:
+        self.busy = False
+        self._maybe_start_batch()
+
+    # -------------------------------------------------------------- data path
+    def enqueue(self, item: WorkItem) -> None:
+        """Add a query to the local queue and start a batch if idle."""
+        self.queue.append(item)
+        self.stats.arrivals += 1
+        self._maybe_start_batch()
+
+    def _predicted_exec_latency(self, batch_size: int) -> float:
+        latency = self.profiled.latency(batch_size)
+        if self.discriminator is not None:
+            latency += self.discriminator.latency_s * batch_size
+        return latency
+
+    def _maybe_start_batch(self) -> None:
+        if self.busy or not self.queue:
+            return
+        batch: List[WorkItem] = []
+        exec_estimate = self._predicted_exec_latency(min(self.batch_size, len(self.queue)))
+        while self.queue and len(batch) < self.batch_size:
+            item = self.queue.popleft()
+            if (
+                self.drop_late
+                and self.now + exec_estimate > item.query.deadline
+            ):
+                self.stats.drops += 1
+                if self.on_drop is not None:
+                    self.on_drop(item)
+                continue
+            batch.append(item)
+        if not batch:
+            # Everything dequeued was dropped; try again if more arrived.
+            if self.queue:
+                self._maybe_start_batch()
+            return
+        self.busy = True
+        latency = self.variant.latency.sample_latency(len(batch), self._rng)
+        if self.discriminator is not None:
+            latency += self.discriminator.latency_s * len(batch)
+        self.sim.schedule(
+            latency, lambda: self._complete_batch(batch, latency), name=f"{self.name}-batch"
+        )
+
+    def _complete_batch(self, batch: List[WorkItem], latency: float) -> None:
+        self.busy = False
+        self.stats.busy_time += latency
+        self.stats.batches += 1
+        self.profiled.observe(len(batch), latency)
+        images = self.generator.generate_batch(
+            [item.query.query_id for item in batch],
+            [item.query.difficulty for item in batch],
+            self.variant,
+        )
+        if self.discriminator is not None:
+            confidences = self.discriminator.confidence_batch(images)
+        else:
+            confidences = [None] * len(batch)
+        for item, image, confidence in zip(batch, images, confidences):
+            self.stats.completions += 1
+            if self.on_complete is not None:
+                conf = float(confidence) if confidence is not None else None
+                self.on_complete(item, image, conf)
+        self._maybe_start_batch()
+
+    # -------------------------------------------------------------- lifecycle
+    def collect_stats(self) -> WorkerStats:
+        """Return and reset the per-window statistics."""
+        snapshot = WorkerStats(
+            arrivals=self.stats.arrivals,
+            completions=self.stats.completions,
+            drops=self.stats.drops,
+            busy_time=self.stats.busy_time,
+            batches=self.stats.batches,
+        )
+        self.stats.reset()
+        return snapshot

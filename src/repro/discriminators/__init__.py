@@ -1,0 +1,51 @@
+"""Discriminators for cascading diffusion model variants.
+
+The discriminator is the core of the model cascade (Section 3.2): a binary
+classifier trained to distinguish real images from generated ("fake") images.
+Its softmax confidence that an image is "real" is used as the image-quality
+estimate; queries whose light-model image scores below the confidence
+threshold are deferred to the heavyweight model.
+
+This package provides:
+
+* trainable NumPy classifiers (:mod:`repro.discriminators.classifiers`),
+* simulated discriminator architectures with the latency and capacity
+  characteristics of EfficientNet-V2 / ResNet-34 / ViT-B-16
+  (:mod:`repro.discriminators.architectures`),
+* the offline training pipeline (:mod:`repro.discriminators.training`),
+* metric-threshold and random baselines (:mod:`repro.discriminators.heuristics`),
+* the deferral profile ``f(t)`` used by the resource allocator
+  (:mod:`repro.discriminators.deferral`).
+"""
+
+from repro.discriminators.architectures import (
+    ARCHITECTURES,
+    ArchitectureSpec,
+    TrainedDiscriminator,
+)
+from repro.discriminators.base import Discriminator
+from repro.discriminators.classifiers import LogisticClassifier, MLPClassifier
+from repro.discriminators.deferral import DeferralProfile
+from repro.discriminators.heuristics import (
+    ClipScoreDiscriminator,
+    OracleDiscriminator,
+    PickScoreDiscriminator,
+    RandomDiscriminator,
+)
+from repro.discriminators.training import DiscriminatorTrainer, TrainingConfig
+
+__all__ = [
+    "Discriminator",
+    "LogisticClassifier",
+    "MLPClassifier",
+    "ArchitectureSpec",
+    "ARCHITECTURES",
+    "TrainedDiscriminator",
+    "DiscriminatorTrainer",
+    "TrainingConfig",
+    "DeferralProfile",
+    "PickScoreDiscriminator",
+    "ClipScoreDiscriminator",
+    "RandomDiscriminator",
+    "OracleDiscriminator",
+]

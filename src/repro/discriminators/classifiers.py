@@ -1,0 +1,164 @@
+"""Trainable binary classifiers implemented with NumPy.
+
+These stand in for the EfficientNet / ResNet / ViT networks of the paper: the
+serving-system behaviour only depends on the classifier's confidence quality
+and its inference latency, both of which are modelled explicitly.  The
+classifiers are trained by full-batch gradient descent on the logistic loss,
+vectorised with NumPy per the project's performance guidelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Numerically stable sigmoid.
+    out = np.empty_like(z, dtype=float)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    expz = np.exp(z[~pos])
+    out[~pos] = expz / (1.0 + expz)
+    return out
+
+
+@dataclass
+class LogisticClassifier:
+    """L2-regularised logistic regression trained with gradient descent.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient-descent step size.
+    epochs:
+        Number of full-batch epochs.
+    l2:
+        L2 regularisation strength.
+    """
+
+    learning_rate: float = 0.5
+    epochs: int = 300
+    l2: float = 1e-3
+    weights: Optional[np.ndarray] = field(default=None, repr=False)
+    bias: float = 0.0
+    _fitted: bool = field(default=False, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticClassifier":
+        """Fit on features ``X`` (n, d) and binary labels ``y`` (1 = real)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y must have the same length")
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ValueError("labels must be binary (0/1)")
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.epochs):
+            z = X @ w + b
+            p = _sigmoid(z)
+            err = p - y
+            grad_w = X.T @ err / n + self.l2 * w
+            grad_b = float(err.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.weights = w
+        self.bias = b
+        self._fitted = True
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw logits."""
+        if not self._fitted:
+            raise RuntimeError("classifier is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X @ self.weights + self.bias
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(real) for each row of ``X``."""
+        return _sigmoid(self.decision_function(X))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(X) >= 0.5).astype(int)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy."""
+        return float(np.mean(self.predict(X) == np.asarray(y).ravel()))
+
+
+@dataclass
+class MLPClassifier:
+    """A one-hidden-layer MLP with tanh activations, trained with gradient descent.
+
+    Used to give the higher-capacity discriminator architectures (EfficientNet,
+    ViT) slightly more expressive decision boundaries than plain logistic
+    regression.
+    """
+
+    hidden_units: int = 16
+    learning_rate: float = 0.2
+    epochs: int = 400
+    l2: float = 1e-4
+    seed: int = 0
+    _params: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, float]] = field(
+        default=None, repr=False
+    )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Fit the MLP on binary labels (1 = real)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y must have the same length")
+        n, d = X.shape
+        rng = np.random.default_rng(self.seed)
+        W1 = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, self.hidden_units))
+        b1 = np.zeros(self.hidden_units)
+        w2 = rng.normal(0.0, 1.0 / np.sqrt(self.hidden_units), size=self.hidden_units)
+        b2 = 0.0
+        for _ in range(self.epochs):
+            h_pre = X @ W1 + b1
+            h = np.tanh(h_pre)
+            z = h @ w2 + b2
+            p = _sigmoid(z)
+            err = (p - y) / n
+            grad_w2 = h.T @ err + self.l2 * w2
+            grad_b2 = float(err.sum())
+            dh = np.outer(err, w2) * (1.0 - h**2)
+            grad_W1 = X.T @ dh + self.l2 * W1
+            grad_b1 = dh.sum(axis=0)
+            W1 -= self.learning_rate * grad_W1
+            b1 -= self.learning_rate * grad_b1
+            w2 -= self.learning_rate * grad_w2
+            b2 -= self.learning_rate * grad_b2
+        self._params = (W1, b1, w2, b2)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw logits."""
+        if self._params is None:
+            raise RuntimeError("classifier is not fitted")
+        W1, b1, w2, b2 = self._params
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        h = np.tanh(X @ W1 + b1)
+        return h @ w2 + b2
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(real) for each row of ``X``."""
+        return _sigmoid(self.decision_function(X))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(X) >= 0.5).astype(int)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy."""
+        return float(np.mean(self.predict(X) == np.asarray(y).ravel()))

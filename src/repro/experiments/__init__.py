@@ -1,0 +1,23 @@
+"""Experiment runners: one module per paper figure/table.
+
+Every module exposes a ``run_*`` function returning a structured result
+object and a ``main()`` that prints the corresponding table.  The benchmark
+harness under ``benchmarks/`` calls the ``run_*`` functions with reduced
+problem sizes; the examples call them at full scale.
+"""
+
+from repro.experiments.harness import (
+    ExperimentScale,
+    SystemComparison,
+    build_comparison_systems,
+    format_table,
+    run_comparison,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SystemComparison",
+    "build_comparison_systems",
+    "run_comparison",
+    "format_table",
+]

@@ -1,0 +1,167 @@
+"""Offline cascade evaluation (shared by Figures 1a and 7).
+
+Given a light/heavy pair, a scoring discriminator and a threshold sweep, this
+module evaluates the cascade *offline*: every prompt is generated with the
+light model, scored, and deferred to the heavy model when the score falls
+below the threshold.  The output for each threshold is the overall FID and
+the average per-query latency (batch size one, as in Figure 1a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.discriminators.base import Discriminator
+from repro.metrics.fid import fid_score
+from repro.models.dataset import QueryDataset
+from repro.models.generation import GeneratedImage, ImageGenerator
+from repro.models.variants import ModelVariant
+
+
+@dataclass(frozen=True)
+class CascadePoint:
+    """One point of a quality/latency trade-off curve."""
+
+    threshold: float
+    deferral_fraction: float
+    fid: float
+    mean_latency: float
+    mean_quality: float
+
+
+@dataclass
+class CascadeCurve:
+    """A full threshold sweep for one cascade/discriminator combination."""
+
+    label: str
+    points: List[CascadePoint] = field(default_factory=list)
+
+    @property
+    def fids(self) -> np.ndarray:
+        """FID values along the sweep."""
+        return np.array([p.fid for p in self.points])
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Mean per-query latencies along the sweep."""
+        return np.array([p.mean_latency for p in self.points])
+
+    def best_fid(self) -> float:
+        """Lowest FID achieved anywhere on the sweep."""
+        return float(self.fids.min()) if self.points else float("nan")
+
+    def fid_at_latency(self, latency_budget: float) -> float:
+        """Lowest FID among points whose mean latency fits the budget."""
+        feasible = [p.fid for p in self.points if p.mean_latency <= latency_budget]
+        return float(min(feasible)) if feasible else float("nan")
+
+
+@dataclass
+class CascadeEvaluator:
+    """Evaluates a light/heavy cascade offline on a dataset."""
+
+    dataset: QueryDataset
+    light: ModelVariant
+    heavy: ModelVariant
+    generator: ImageGenerator = field(default_factory=lambda: ImageGenerator(seed=0))
+    discriminator_latency: float = 0.01
+    n_queries: Optional[int] = None
+
+    def _query_ids(self) -> np.ndarray:
+        n = len(self.dataset) if self.n_queries is None else min(self.n_queries, len(self.dataset))
+        return np.arange(n)
+
+    def generate_pairs(self) -> tuple:
+        """(light images, heavy images) for every evaluated prompt."""
+        ids = self._query_ids()
+        light_images = [
+            self.generator.generate(int(i), self.dataset.difficulty(int(i)), self.light)
+            for i in ids
+        ]
+        heavy_images = [
+            self.generator.generate(int(i), self.dataset.difficulty(int(i)), self.heavy)
+            for i in ids
+        ]
+        return light_images, heavy_images
+
+    def single_model_point(self, which: str = "light") -> CascadePoint:
+        """FID/latency of serving every query with one model (no cascade)."""
+        light_images, heavy_images = self.generate_pairs()
+        images = light_images if which == "light" else heavy_images
+        variant = self.light if which == "light" else self.heavy
+        ids = self._query_ids()
+        feats = np.stack([img.features for img in images])
+        return CascadePoint(
+            threshold=0.0 if which == "light" else 1.0,
+            deferral_fraction=0.0 if which == "light" else 1.0,
+            fid=fid_score(feats, self.dataset.real_features[ids]),
+            mean_latency=variant.execution_latency(1),
+            mean_quality=float(np.mean([img.quality for img in images])),
+        )
+
+    def sweep(
+        self,
+        discriminator: Discriminator,
+        thresholds: Sequence[float],
+        *,
+        label: Optional[str] = None,
+    ) -> CascadeCurve:
+        """Threshold sweep of the cascade guided by ``discriminator``."""
+        ids = self._query_ids()
+        light_images, heavy_images = self.generate_pairs()
+        confidences = discriminator.confidence_batch(light_images)
+        light_latency = self.light.execution_latency(1) + self.discriminator_latency
+        heavy_latency = self.heavy.execution_latency(1)
+        real = self.dataset.real_features[ids]
+
+        curve = CascadeCurve(label=label or discriminator.name)
+        for threshold in thresholds:
+            if not 0.0 <= threshold <= 1.0:
+                raise ValueError("thresholds must lie in [0, 1]")
+            deferred = confidences < threshold
+            images: List[GeneratedImage] = [
+                heavy_images[i] if deferred[i] else light_images[i] for i in range(len(ids))
+            ]
+            feats = np.stack([img.features for img in images])
+            fraction = float(np.mean(deferred))
+            curve.points.append(
+                CascadePoint(
+                    threshold=float(threshold),
+                    deferral_fraction=fraction,
+                    fid=fid_score(feats, real),
+                    mean_latency=light_latency + fraction * heavy_latency,
+                    mean_quality=float(np.mean([img.quality for img in images])),
+                )
+            )
+        return curve
+
+    def random_sweep(
+        self, fractions: Sequence[float], *, seed: int = 0, label: str = "random"
+    ) -> CascadeCurve:
+        """Content-agnostic random deferral at the given fractions."""
+        ids = self._query_ids()
+        light_images, heavy_images = self.generate_pairs()
+        rng = np.random.default_rng(seed)
+        light_latency = self.light.execution_latency(1)
+        heavy_latency = self.heavy.execution_latency(1)
+        real = self.dataset.real_features[ids]
+        curve = CascadeCurve(label=label)
+        for fraction in fractions:
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError("fractions must lie in [0, 1]")
+            deferred = rng.random(len(ids)) < fraction
+            images = [heavy_images[i] if deferred[i] else light_images[i] for i in range(len(ids))]
+            feats = np.stack([img.features for img in images])
+            curve.points.append(
+                CascadePoint(
+                    threshold=float(fraction),
+                    deferral_fraction=float(np.mean(deferred)),
+                    fid=fid_score(feats, real),
+                    mean_latency=light_latency + float(np.mean(deferred)) * heavy_latency,
+                    mean_quality=float(np.mean([img.quality for img in images])),
+                )
+            )
+        return curve

@@ -1,0 +1,170 @@
+"""Figure 1a/1b: motivation study.
+
+* **Figure 1a** — FID vs. average per-query latency for (i) independent model
+  variants and (ii) diffusion model cascades routed by Random / PickScore /
+  CLIPScore thresholds and by the trained discriminator, for two cascades
+  (SD-Turbo -> SDv1.5 and SDXS -> SDv1.5).  The paper's finding: cascades
+  routed by PickScore/CLIPScore do no better than random, while the trained
+  discriminator dominates.
+
+* **Figure 1b** — the distribution of the per-prompt quality difference
+  between the light and heavy model (PickScore difference and discriminator
+  confidence difference): 20-40% of prompts are "easy" (light is at least as
+  good as heavy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.discriminators.heuristics import ClipScoreDiscriminator, PickScoreDiscriminator
+from repro.discriminators.training import DiscriminatorTrainer, TrainingConfig
+from repro.experiments.cascade_eval import CascadeCurve, CascadeEvaluator, CascadePoint
+from repro.experiments.harness import ExperimentScale, BENCH_SCALE, format_table
+from repro.models.dataset import load_dataset
+from repro.models.generation import ImageGenerator
+from repro.models.scores import pick_score
+from repro.models.zoo import MODEL_ZOO, get_cascade, get_variant
+
+#: Independent model variants plotted as single points in Figure 1a.
+INDEPENDENT_VARIANTS = (
+    "sd-turbo",
+    "sdxs",
+    "sdxl-turbo",
+    "tiny-sd-dpms",
+    "sd-v1.5-dpms",
+    "sd-v1.5",
+)
+
+
+@dataclass
+class Fig1aResult:
+    """Curves and points for one cascade panel of Figure 1a."""
+
+    cascade_name: str
+    variant_points: Dict[str, CascadePoint] = field(default_factory=dict)
+    curves: Dict[str, CascadeCurve] = field(default_factory=dict)
+
+    def best_fid(self, label: str) -> float:
+        """Lowest FID on a routing curve."""
+        return self.curves[label].best_fid()
+
+
+@dataclass
+class Fig1bResult:
+    """Quality-difference distributions for one cascade (Figure 1b)."""
+
+    cascade_name: str
+    pickscore_difference: np.ndarray
+    confidence_difference: np.ndarray
+
+    @property
+    def easy_fraction_pickscore(self) -> float:
+        """Fraction of prompts where the light model's PickScore >= heavy's."""
+        return float(np.mean(self.pickscore_difference >= 0))
+
+    @property
+    def easy_fraction_confidence(self) -> float:
+        """Fraction of prompts where the light model's confidence >= heavy's."""
+        return float(np.mean(self.confidence_difference >= 0))
+
+    def cdf(self, which: str = "confidence", n_points: int = 50) -> tuple:
+        """(x, CDF) arrays for plotting."""
+        data = (
+            self.confidence_difference if which == "confidence" else self.pickscore_difference
+        )
+        xs = np.sort(data)
+        ys = np.arange(1, len(xs) + 1) / len(xs)
+        idx = np.linspace(0, len(xs) - 1, min(n_points, len(xs))).astype(int)
+        return xs[idx], ys[idx]
+
+
+def run_fig1a(
+    cascade_name: str = "sdturbo",
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    n_thresholds: int = 11,
+) -> Fig1aResult:
+    """Reproduce one panel of Figure 1a."""
+    cascade = get_cascade(cascade_name)
+    dataset = load_dataset("coco", n=scale.dataset_size, seed=scale.seed)
+    evaluator = CascadeEvaluator(dataset, cascade.light, cascade.heavy, n_queries=scale.dataset_size)
+
+    result = Fig1aResult(cascade_name=cascade_name)
+    for name in INDEPENDENT_VARIANTS:
+        variant = get_variant(name)
+        if variant.resolution != cascade.light.resolution:
+            continue
+        solo = CascadeEvaluator(dataset, variant, cascade.heavy, n_queries=scale.dataset_size)
+        result.variant_points[name] = solo.single_model_point("light")
+
+    trainer = DiscriminatorTrainer(dataset, cascade.light, cascade.heavy)
+    trained = trainer.train(TrainingConfig(n_train=min(600, scale.dataset_size), seed=scale.seed))
+
+    thresholds = np.linspace(0.0, 1.0, n_thresholds)
+    result.curves["discriminator"] = evaluator.sweep(
+        trained.discriminator, thresholds, label="discriminator"
+    )
+    result.curves["pickscore"] = evaluator.sweep(
+        PickScoreDiscriminator(), thresholds, label="pickscore"
+    )
+    result.curves["clipscore"] = evaluator.sweep(
+        ClipScoreDiscriminator(), thresholds, label="clipscore"
+    )
+    result.curves["random"] = evaluator.random_sweep(
+        np.linspace(0.0, 1.0, n_thresholds), seed=scale.seed, label="random"
+    )
+    return result
+
+
+def run_fig1b(
+    cascade_name: str = "sdturbo", scale: ExperimentScale = BENCH_SCALE
+) -> Fig1bResult:
+    """Reproduce one panel pair of Figure 1b."""
+    cascade = get_cascade(cascade_name)
+    dataset = load_dataset("coco", n=scale.dataset_size, seed=scale.seed)
+    generator = ImageGenerator(seed=scale.seed)
+    trainer = DiscriminatorTrainer(dataset, cascade.light, cascade.heavy, generator=generator)
+    discriminator = trainer.train(
+        TrainingConfig(n_train=min(600, scale.dataset_size), seed=scale.seed)
+    ).discriminator
+
+    ids = np.arange(len(dataset))
+    light = [generator.generate(int(i), dataset.difficulty(int(i)), cascade.light) for i in ids]
+    heavy = [generator.generate(int(i), dataset.difficulty(int(i)), cascade.heavy) for i in ids]
+    pick_diff = np.array([pick_score(l) - pick_score(h) for l, h in zip(light, heavy)])
+    conf_diff = discriminator.confidence_batch(light) - discriminator.confidence_batch(heavy)
+    return Fig1bResult(
+        cascade_name=cascade_name,
+        pickscore_difference=pick_diff,
+        confidence_difference=conf_diff,
+    )
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run both panels for both cascades and render a summary table."""
+    lines: List[str] = []
+    for cascade_name in ("sdturbo", "sdxs"):
+        fig1a = run_fig1a(cascade_name, scale)
+        rows = []
+        for label, curve in fig1a.curves.items():
+            rows.append([label, curve.best_fid(), float(curve.latencies.max())])
+        lines.append(f"Figure 1a — cascade {cascade_name}")
+        lines.append(format_table(["routing", "best FID", "max latency (s)"], rows))
+        fig1b = run_fig1b(cascade_name, scale)
+        lines.append(
+            f"Figure 1b — cascade {cascade_name}: easy fraction "
+            f"(confidence) = {fig1b.easy_fraction_confidence:.2f}, "
+            f"(PickScore) = {fig1b.easy_fraction_pickscore:.2f}"
+        )
+        lines.append("")
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Figure 4: performance comparison on synthetic static traces.
+
+For three static load levels (low / medium / high), every system is run on a
+constant-rate trace and plotted in (SLO violation ratio, FID) space.  The
+dynamic systems (Proteus and DiffServe) are swept over their over-provisioning
+factor to trace out their quality/latency trade-off curves; the Clipper
+baselines yield a single point each.  The paper's finding: DiffServe's curve
+is Pareto-optimal (lower-left) at every load level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import build_clipper_system, build_proteus_system
+from repro.core.system import build_diffserve_system
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table, shared_components
+from repro.metrics.pareto import ParetoPoint, is_pareto_dominated
+from repro.traces.base import ArrivalTrace
+from repro.traces.synthetic import static_rate
+
+#: Static load levels (QPS) for a 16-worker cluster serving Cascade 1.
+DEFAULT_LOAD_LEVELS: Dict[str, float] = {"low": 8.0, "medium": 16.0, "high": 26.0}
+
+#: Over-provisioning factors swept for the dynamic systems.
+DEFAULT_FACTORS: Tuple[float, ...] = (1.0, 1.2, 1.5, 2.0)
+
+
+@dataclass
+class Fig4Result:
+    """(violation, FID) points per system per load level."""
+
+    cascade_name: str
+    load_levels: Dict[str, float]
+    points: Dict[str, Dict[str, List[ParetoPoint]]] = field(default_factory=dict)
+
+    def system_points(self, load: str, system: str) -> List[ParetoPoint]:
+        """Points of one system at one load level."""
+        return self.points[load][system]
+
+    def diffserve_is_pareto_optimal(self, load: str) -> bool:
+        """Whether no other system's point dominates every DiffServe point."""
+        ours = self.points[load]["diffserve"]
+        others = [
+            p
+            for system, pts in self.points[load].items()
+            if system != "diffserve"
+            for p in pts
+        ]
+        # DiffServe is Pareto-optimal if at least one of its points is not
+        # dominated by any baseline point.
+        return any(not is_pareto_dominated(p, others) for p in ours)
+
+
+def run_fig4(
+    cascade_name: str = "sdturbo",
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    load_levels: Dict[str, float] = None,
+    factors: Sequence[float] = DEFAULT_FACTORS,
+) -> Fig4Result:
+    """Run the static-trace comparison."""
+    load_levels = dict(DEFAULT_LOAD_LEVELS if load_levels is None else load_levels)
+    # Scale loads with cluster size relative to the paper's 16 workers.
+    worker_factor = scale.num_workers / 16.0
+    load_levels = {k: v * worker_factor for k, v in load_levels.items()}
+
+    cascade, dataset, discriminator = shared_components(cascade_name, scale)
+    result = Fig4Result(cascade_name=cascade_name, load_levels=load_levels)
+
+    for load_name, qps in load_levels.items():
+        curve = static_rate(qps, scale.trace_duration)
+        trace = ArrivalTrace.from_rate_curve(curve, np.random.default_rng(scale.seed))
+        level_points: Dict[str, List[ParetoPoint]] = {}
+
+        for which in ("light", "heavy"):
+            system = build_clipper_system(
+                cascade_name, which, num_workers=scale.num_workers, dataset=dataset, seed=scale.seed
+            )
+            res = system.run(trace)
+            level_points[f"clipper-{which}"] = [
+                ParetoPoint(x=res.slo_violation_ratio, y=res.fid(), payload=which)
+            ]
+
+        proteus_points = []
+        for factor in factors:
+            system = build_proteus_system(
+                cascade_name,
+                num_workers=scale.num_workers,
+                dataset=dataset,
+                over_provision=factor,
+                seed=scale.seed,
+            )
+            res = system.run(trace)
+            proteus_points.append(
+                ParetoPoint(x=res.slo_violation_ratio, y=res.fid(), payload=factor)
+            )
+        level_points["proteus"] = proteus_points
+
+        diffserve_points = []
+        for factor in factors:
+            system = build_diffserve_system(
+                cascade_name,
+                num_workers=scale.num_workers,
+                dataset=dataset,
+                discriminator=discriminator,
+                over_provision=factor,
+                seed=scale.seed,
+            )
+            res = system.run(trace)
+            diffserve_points.append(
+                ParetoPoint(x=res.slo_violation_ratio, y=res.fid(), payload=factor)
+            )
+        level_points["diffserve"] = diffserve_points
+
+        result.points[load_name] = level_points
+    return result
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run Figure 4 and print one table per load level."""
+    result = run_fig4(scale=scale)
+    lines: List[str] = []
+    for load_name, level_points in result.points.items():
+        rows = []
+        for system, points in level_points.items():
+            for point in points:
+                rows.append([system, point.x, point.y])
+        lines.append(f"Figure 4 — {load_name} load ({result.load_levels[load_name]:.0f} QPS)")
+        lines.append(format_table(["system", "SLO violation", "FID"], rows))
+        lines.append(
+            f"DiffServe Pareto-optimal: {result.diffserve_is_pareto_optimal(load_name)}"
+        )
+        lines.append("")
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

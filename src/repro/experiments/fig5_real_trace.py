@@ -1,0 +1,105 @@
+"""Figure 5: performance comparison on a real-world (Azure-like) trace, Cascade 1.
+
+All five systems run on the same diurnal Azure-Functions-like trace.  The
+figure reports three time series — demand, FID, and SLO violation ratio —
+plus the headline comparisons quoted in the paper text: DiffServe improves
+quality by up to ~23% over baselines while keeping SLO violations low, and
+DiffServe-Static suffers elevated violations during the peak because it
+cannot adapt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.results import SimulationResult
+from repro.experiments.harness import (
+    BENCH_SCALE,
+    ExperimentScale,
+    SystemComparison,
+    format_table,
+    run_comparison,
+)
+
+
+@dataclass
+class Fig5Result:
+    """Comparison plus derived time series for Figure 5."""
+
+    comparison: SystemComparison
+    window: float = 20.0
+
+    @property
+    def results(self) -> Dict[str, SimulationResult]:
+        """Per-system simulation results."""
+        return self.comparison.results
+
+    def timeseries(self, system: str) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Demand, FID and violation time series of one system."""
+        res = self.results[system]
+        return {
+            "demand": res.demand_timeseries(self.window),
+            "fid": res.fid_timeseries(self.window),
+            "violation": res.violation_timeseries(self.window),
+            "threshold": res.threshold_timeseries(),
+        }
+
+    def quality_improvement_over(self, baseline: str, system: str = "diffserve") -> float:
+        """Relative FID improvement of ``system`` over ``baseline`` (positive = better)."""
+        base = self.results[baseline].fid()
+        ours = self.results[system].fid()
+        return (base - ours) / base
+
+    def violation_reduction_factor(self, baseline: str, system: str = "diffserve") -> float:
+        """How many times lower ``system``'s violation ratio is vs. ``baseline``."""
+        ours = max(self.results[system].slo_violation_ratio, 1e-4)
+        base = max(self.results[baseline].slo_violation_ratio, 1e-4)
+        return base / ours
+
+
+def run_fig5(
+    cascade_name: str = "sdturbo", scale: ExperimentScale = BENCH_SCALE
+) -> Fig5Result:
+    """Run the five-system comparison on the Azure-like trace."""
+    comparison = run_comparison(cascade_name, scale)
+    return Fig5Result(comparison=comparison)
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run Figure 5 and print the summary table."""
+    result = run_fig5(scale=scale)
+    rows = []
+    for name, res in result.results.items():
+        summary = res.summary()
+        rows.append(
+            [
+                name,
+                summary["fid"],
+                summary["slo_violation_ratio"],
+                summary["deferral_rate"],
+                summary["p99_latency"],
+            ]
+        )
+    lines = [
+        "Figure 5 — Azure-like trace, Cascade 1 (SD-Turbo -> SDv1.5)",
+        format_table(["system", "FID", "SLO violation", "deferral", "p99 latency (s)"], rows),
+        "",
+        f"Quality improvement over Clipper-Light: "
+        f"{result.quality_improvement_over('clipper-light') * 100:.1f}%",
+        f"Quality improvement over Proteus:       "
+        f"{result.quality_improvement_over('proteus') * 100:.1f}%",
+        f"Violation reduction vs Clipper-Heavy:   "
+        f"{result.violation_reduction_factor('clipper-heavy'):.1f}x",
+        f"Violation reduction vs DiffServe-Static: "
+        f"{result.violation_reduction_factor('diffserve-static'):.1f}x",
+    ]
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Figure 6: average FID and SLO violation for Cascades 2 and 3.
+
+The paper runs the Azure-like trace through all five systems for the
+SDXS -> SDv1.5 cascade (Cascade 2, trace 4-32 QPS) and the
+SDXL-Lightning -> SDXL cascade (Cascade 3, trace 1-8 QPS) and reports the
+average FID and SLO violation ratio per system.  DiffServe reduces average
+FID by 6-24% compared to every baseline except Clipper-Heavy, and its SLO
+violation ratio is the lowest among the quality-preserving systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.harness import (
+    BENCH_SCALE,
+    ExperimentScale,
+    SystemComparison,
+    format_table,
+    run_comparison,
+)
+
+
+@dataclass
+class Fig6Result:
+    """One :class:`SystemComparison` per cascade."""
+
+    comparisons: Dict[str, SystemComparison] = field(default_factory=dict)
+
+    def average_fid(self, cascade: str, system: str) -> float:
+        """Average FID of one system on one cascade."""
+        return self.comparisons[cascade].fid(system)
+
+    def average_violation(self, cascade: str, system: str) -> float:
+        """Average SLO violation ratio of one system on one cascade."""
+        return self.comparisons[cascade].violation(system)
+
+    def fid_reduction(self, cascade: str, baseline: str, system: str = "diffserve") -> float:
+        """Relative FID reduction of ``system`` vs. ``baseline``."""
+        base = self.average_fid(cascade, baseline)
+        ours = self.average_fid(cascade, system)
+        return (base - ours) / base
+
+
+def run_fig6(
+    cascades: Sequence[str] = ("sdxs", "sdxlltn"), scale: ExperimentScale = BENCH_SCALE
+) -> Fig6Result:
+    """Run the testbed comparison for Cascades 2 and 3."""
+    result = Fig6Result()
+    for cascade_name in cascades:
+        result.comparisons[cascade_name] = run_comparison(cascade_name, scale)
+    return result
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run Figure 6 and print a table per cascade."""
+    result = run_fig6(scale=scale)
+    lines: List[str] = []
+    for cascade_name, comparison in result.comparisons.items():
+        rows = [
+            [name, res.fid(), res.slo_violation_ratio]
+            for name, res in comparison.results.items()
+        ]
+        lines.append(f"Figure 6 — cascade {cascade_name}")
+        lines.append(format_table(["system", "avg FID", "avg SLO violation"], rows))
+        lines.append("")
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

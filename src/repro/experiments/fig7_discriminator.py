@@ -1,0 +1,100 @@
+"""Figure 7: discriminator design ablation.
+
+Compares four discriminator configurations across two cascades (SD-Turbo and
+SDXS as the light model, SDv1.5 as the heavy model):
+
+* ResNet-34 trained with ground-truth images,
+* ViT-B-16 trained with ground-truth images,
+* EfficientNet-V2 trained with heavy-model outputs as the "real" class,
+* EfficientNet-V2 trained with ground-truth images (the paper's final choice).
+
+Each configuration's cascade is swept over thresholds and its FID-vs-latency
+curve is compared; EfficientNet with ground-truth images achieves the lowest
+FID at any latency budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.discriminators.training import DiscriminatorTrainer, TrainingConfig
+from repro.experiments.cascade_eval import CascadeCurve, CascadeEvaluator
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
+from repro.models.dataset import load_dataset
+from repro.models.generation import ImageGenerator
+from repro.models.zoo import get_cascade
+
+#: (label, architecture, real_source) triples of Figure 7.
+DISCRIMINATOR_VARIANTS: Tuple[Tuple[str, str, str], ...] = (
+    ("resnet-gt", "resnet-34", "ground-truth"),
+    ("vit-gt", "vit-b-16", "ground-truth"),
+    ("efficientnet-fake", "efficientnet-v2", "heavy-model"),
+    ("efficientnet-gt", "efficientnet-v2", "ground-truth"),
+)
+
+
+@dataclass
+class Fig7Result:
+    """Per-cascade, per-variant threshold-sweep curves."""
+
+    curves: Dict[str, Dict[str, CascadeCurve]] = field(default_factory=dict)
+
+    def best_fid(self, cascade: str, variant: str) -> float:
+        """Lowest FID achieved by one discriminator variant."""
+        return self.curves[cascade][variant].best_fid()
+
+    def winner(self, cascade: str) -> str:
+        """Variant with the lowest best-FID on a cascade."""
+        return min(self.curves[cascade], key=lambda v: self.best_fid(cascade, v))
+
+
+def run_fig7(
+    cascades: Sequence[str] = ("sdturbo", "sdxs"),
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    n_thresholds: int = 11,
+) -> Fig7Result:
+    """Train each discriminator variant and sweep its cascade."""
+    result = Fig7Result()
+    thresholds = np.linspace(0.0, 1.0, n_thresholds)
+    for cascade_name in cascades:
+        cascade = get_cascade(cascade_name)
+        dataset = load_dataset("coco", n=scale.dataset_size, seed=scale.seed)
+        generator = ImageGenerator(seed=scale.seed)
+        evaluator = CascadeEvaluator(dataset, cascade.light, cascade.heavy, generator=generator)
+        trainer = DiscriminatorTrainer(dataset, cascade.light, cascade.heavy, generator=generator)
+        curves: Dict[str, CascadeCurve] = {}
+        for label, architecture, real_source in DISCRIMINATOR_VARIANTS:
+            trained = trainer.train(
+                TrainingConfig(
+                    architecture=architecture,
+                    real_source=real_source,
+                    n_train=min(600, scale.dataset_size),
+                    seed=scale.seed,
+                )
+            )
+            curves[label] = evaluator.sweep(trained.discriminator, thresholds, label=label)
+        result.curves[cascade_name] = curves
+    return result
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run Figure 7 and print the per-cascade best FIDs."""
+    result = run_fig7(scale=scale)
+    lines: List[str] = []
+    for cascade_name, curves in result.curves.items():
+        rows = [[label, curve.best_fid()] for label, curve in curves.items()]
+        lines.append(f"Figure 7 — cascade {cascade_name}")
+        lines.append(format_table(["discriminator", "best FID"], rows))
+        lines.append(f"winner: {result.winner(cascade_name)}")
+        lines.append("")
+    output = "\n".join(lines)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

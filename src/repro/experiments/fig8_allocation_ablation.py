@@ -1,0 +1,94 @@
+"""Figure 8: resource-allocation ablation.
+
+Runs DiffServe against three crippled variants of its allocation algorithm on
+the Azure-like trace (Cascade 1):
+
+* **Static threshold** — the MILP still tunes placement/batching but the
+  confidence threshold is pinned, losing the off-peak quality improvement.
+* **AIMD batching** — batch sizes follow Clipper's additive-increase /
+  multiplicative-decrease heuristic instead of the MILP, reacting only after
+  violations occur.
+* **No queueing model** — queueing delays are assumed to be twice the
+  execution latency (the Proteus heuristic) instead of Little's law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.results import SimulationResult
+from repro.core.system import build_diffserve_system
+from repro.experiments.harness import (
+    BENCH_SCALE,
+    ExperimentScale,
+    default_trace,
+    format_table,
+    shared_components,
+)
+
+#: Policy variants of the ablation (label -> build_diffserve_system kwargs).
+ABLATION_VARIANTS: Dict[str, Dict[str, object]] = {
+    "diffserve": {"policy_variant": "full"},
+    "static-threshold": {"policy_variant": "static-threshold", "static_threshold": 0.5},
+    "aimd": {"policy_variant": "aimd"},
+    "no-queuing-model": {"policy_variant": "no-queueing"},
+}
+
+
+@dataclass
+class Fig8Result:
+    """Per-variant simulation results."""
+
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def fid(self, variant: str) -> float:
+        """FID of one allocation variant."""
+        return self.results[variant].fid()
+
+    def violation(self, variant: str) -> float:
+        """SLO violation ratio of one allocation variant."""
+        return self.results[variant].slo_violation_ratio
+
+
+def run_fig8(
+    cascade_name: str = "sdturbo", scale: ExperimentScale = BENCH_SCALE
+) -> Fig8Result:
+    """Run the allocation ablation."""
+    cascade, dataset, discriminator = shared_components(cascade_name, scale)
+    curve, trace = default_trace(cascade_name, scale)
+    result = Fig8Result()
+    for label, kwargs in ABLATION_VARIANTS.items():
+        system = build_diffserve_system(
+            cascade_name,
+            num_workers=scale.num_workers,
+            dataset=dataset,
+            discriminator=discriminator,
+            seed=scale.seed,
+            **kwargs,
+        )
+        result.results[label] = system.run(trace)
+    return result
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run Figure 8 and print the comparison table."""
+    result = run_fig8(scale=scale)
+    rows = [
+        [label, res.fid(), res.slo_violation_ratio, res.deferral_rate]
+        for label, res in result.results.items()
+    ]
+    output = "\n".join(
+        [
+            "Figure 8 — resource-allocation ablation (Cascade 1, Azure-like trace)",
+            format_table(["allocation", "FID", "SLO violation", "deferral"], rows),
+        ]
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,217 @@
+"""Shared experiment harness.
+
+Builds the five systems compared throughout the evaluation (Clipper-Light,
+Clipper-Heavy, Proteus, DiffServe-Static, DiffServe) with a shared dataset and
+discriminator, runs them on a common trace, and renders plain-text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    build_clipper_system,
+    build_diffserve_static_system,
+    build_proteus_system,
+)
+from repro.core.results import SimulationResult
+from repro.core.system import ServingSimulation, build_diffserve_system
+from repro.discriminators.base import Discriminator
+from repro.discriminators.training import train_default_discriminator
+from repro.models.dataset import QueryDataset, load_dataset
+from repro.models.zoo import CascadeSpec, get_cascade
+from repro.traces.azure import azure_functions_like_rate
+from repro.traces.base import ArrivalTrace, RateCurve
+
+#: Default QPS ranges used per cascade (matching the artifact's trace files
+#: for a 16-worker cluster).
+DEFAULT_QPS_RANGE: Dict[str, tuple] = {
+    "sdturbo": (4.0, 32.0),
+    "sdxs": (4.0, 32.0),
+    "sdxlltn": (1.0, 8.0),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Controls the cost of an experiment run.
+
+    The paper evaluates with 5K prompts and 6-minute traces on 16 workers;
+    benchmarks shrink these knobs to keep CI runs fast while preserving the
+    qualitative behaviour.
+    """
+
+    dataset_size: int = 1000
+    trace_duration: float = 360.0
+    num_workers: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dataset_size < 50:
+            raise ValueError("dataset_size must be >= 50")
+        if self.trace_duration <= 0:
+            raise ValueError("trace_duration must be positive")
+        if self.num_workers < 2:
+            raise ValueError("num_workers must be >= 2")
+
+
+#: Reduced scale used by the pytest benchmarks.
+BENCH_SCALE = ExperimentScale(dataset_size=300, trace_duration=180.0, num_workers=16)
+
+#: Full scale approximating the paper's setup.
+PAPER_SCALE = ExperimentScale(dataset_size=5000, trace_duration=360.0, num_workers=16)
+
+
+@dataclass
+class SystemComparison:
+    """Results of running several systems on the same trace."""
+
+    cascade_name: str
+    trace_curve: RateCurve
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def summaries(self) -> Dict[str, Dict[str, float]]:
+        """Headline metric dict per system."""
+        return {name: result.summary() for name, result in self.results.items()}
+
+    def fid(self, name: str) -> float:
+        """FID of one system."""
+        return self.results[name].fid()
+
+    def violation(self, name: str) -> float:
+        """SLO violation ratio of one system."""
+        return self.results[name].slo_violation_ratio
+
+
+def shared_components(
+    cascade_name: str, scale: ExperimentScale
+) -> tuple:
+    """(cascade, dataset, discriminator) shared by all systems in a comparison."""
+    cascade = get_cascade(cascade_name)
+    dataset = load_dataset(cascade.dataset, n=scale.dataset_size, seed=scale.seed)
+    discriminator = train_default_discriminator(
+        dataset, cascade.light, cascade.heavy, seed=scale.seed
+    )
+    return cascade, dataset, discriminator
+
+
+def default_trace(
+    cascade_name: str, scale: ExperimentScale, *, seed: Optional[int] = None
+) -> tuple:
+    """(rate curve, arrival trace) for a cascade at the default QPS range."""
+    lo, hi = DEFAULT_QPS_RANGE.get(cascade_name, (4.0, 32.0))
+    # Scale the QPS range with cluster size relative to the 16-worker default.
+    factor = scale.num_workers / 16.0
+    curve = azure_functions_like_rate(
+        lo * factor, hi * factor, duration=scale.trace_duration, seed=scale.seed
+    )
+    rng = np.random.default_rng(scale.seed if seed is None else seed)
+    trace = ArrivalTrace.from_rate_curve(curve, rng)
+    return curve, trace
+
+
+def build_comparison_systems(
+    cascade_name: str,
+    scale: ExperimentScale,
+    *,
+    anticipated_peak_qps: float,
+    dataset: Optional[QueryDataset] = None,
+    discriminator: Optional[Discriminator] = None,
+    systems: Sequence[str] = (
+        "clipper-light",
+        "clipper-heavy",
+        "proteus",
+        "diffserve-static",
+        "diffserve",
+    ),
+) -> Dict[str, ServingSimulation]:
+    """Instantiate the requested systems with shared dataset/discriminator."""
+    if dataset is None or discriminator is None:
+        _, dataset, discriminator = shared_components(cascade_name, scale)
+    built: Dict[str, ServingSimulation] = {}
+    for name in systems:
+        if name == "clipper-light":
+            built[name] = build_clipper_system(
+                cascade_name, "light", num_workers=scale.num_workers, dataset=dataset, seed=scale.seed
+            )
+        elif name == "clipper-heavy":
+            built[name] = build_clipper_system(
+                cascade_name, "heavy", num_workers=scale.num_workers, dataset=dataset, seed=scale.seed
+            )
+        elif name == "proteus":
+            built[name] = build_proteus_system(
+                cascade_name, num_workers=scale.num_workers, dataset=dataset, seed=scale.seed
+            )
+        elif name == "diffserve-static":
+            built[name] = build_diffserve_static_system(
+                cascade_name,
+                anticipated_peak_qps=anticipated_peak_qps,
+                num_workers=scale.num_workers,
+                dataset=dataset,
+                discriminator=discriminator,
+                seed=scale.seed,
+            )
+        elif name == "diffserve":
+            built[name] = build_diffserve_system(
+                cascade_name,
+                num_workers=scale.num_workers,
+                dataset=dataset,
+                discriminator=discriminator,
+                seed=scale.seed,
+            )
+        else:
+            raise KeyError(f"unknown system {name!r}")
+    return built
+
+
+def run_comparison(
+    cascade_name: str,
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    systems: Sequence[str] = (
+        "clipper-light",
+        "clipper-heavy",
+        "proteus",
+        "diffserve-static",
+        "diffserve",
+    ),
+    peak_provision_factor: float = 0.8,
+) -> SystemComparison:
+    """Run the standard five-system comparison on the cascade's default trace.
+
+    ``peak_provision_factor`` scales the trace peak into the *anticipated*
+    peak DiffServe-Static is provisioned for (operators under-estimate bursts).
+    """
+    cascade, dataset, discriminator = shared_components(cascade_name, scale)
+    curve, trace = default_trace(cascade_name, scale)
+    built = build_comparison_systems(
+        cascade_name,
+        scale,
+        anticipated_peak_qps=peak_provision_factor * curve.peak,
+        dataset=dataset,
+        discriminator=discriminator,
+        systems=systems,
+    )
+    comparison = SystemComparison(cascade_name=cascade_name, trace_curve=curve)
+    for name, system in built.items():
+        comparison.results[name] = system.run(trace)
+    return comparison
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a plain-text table with left-aligned columns."""
+    str_rows = [[f"{v:.3f}" if isinstance(v, float) else str(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(headers[i].ljust(widths[i]) for i in range(len(headers))),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

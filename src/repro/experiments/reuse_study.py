@@ -1,0 +1,103 @@
+"""Section 5 "Reuse Opportunities" study.
+
+The paper discusses letting the heavyweight model start from the lightweight
+model's output instead of fresh noise.  With 50 denoising steps, reusing
+SD-Turbo outputs in SDv1.5 showed no significant FID change, while reusing
+SDXS outputs increased FID from 18.55 to 19.75 — the models' latent spaces
+are less compatible.  We model reuse compatibility as a per-pair quality
+penalty and measure the FID of the deferred (heavy-model) responses with and
+without reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
+from repro.metrics.fid import fid_score
+from repro.models.dataset import load_dataset
+from repro.models.generation import ImageGenerator
+from repro.models.zoo import get_cascade
+
+#: Quality penalty applied when the heavy model reuses the light model's
+#: latent, per cascade.  SD-Turbo is distilled directly from SDv1.5 so its
+#: latents are compatible; SDXS uses a different student architecture.
+REUSE_PENALTY: Dict[str, float] = {
+    "sdturbo": 0.0,
+    "sdxs": 0.06,
+    "sdxlltn": 0.02,
+}
+
+
+@dataclass
+class ReuseResult:
+    """FID with and without reuse, per cascade."""
+
+    fid_without_reuse: Dict[str, float] = field(default_factory=dict)
+    fid_with_reuse: Dict[str, float] = field(default_factory=dict)
+
+    def fid_change(self, cascade: str) -> float:
+        """FID increase caused by reuse (positive = reuse hurts)."""
+        return self.fid_with_reuse[cascade] - self.fid_without_reuse[cascade]
+
+
+def run_reuse_study(
+    cascades: Tuple[str, ...] = ("sdturbo", "sdxs"),
+    scale: ExperimentScale = BENCH_SCALE,
+) -> ReuseResult:
+    """Measure the FID impact of reusing light-model outputs in the heavy model."""
+    result = ReuseResult()
+    for cascade_name in cascades:
+        cascade = get_cascade(cascade_name)
+        dataset = load_dataset(cascade.dataset, n=scale.dataset_size, seed=scale.seed)
+        generator = ImageGenerator(seed=scale.seed)
+        ids = np.arange(len(dataset))
+        light = [
+            generator.generate(int(i), dataset.difficulty(int(i)), cascade.light) for i in ids
+        ]
+        fresh = [
+            generator.generate(int(i), dataset.difficulty(int(i)), cascade.heavy) for i in ids
+        ]
+        penalty = REUSE_PENALTY.get(cascade_name, 0.05)
+        reused = [
+            generator.generate(
+                int(i),
+                dataset.difficulty(int(i)),
+                cascade.heavy,
+                reuse_from=light[int(i)],
+                reuse_penalty=penalty,
+            )
+            for i in ids
+        ]
+        real = dataset.real_features
+        result.fid_without_reuse[cascade_name] = fid_score(
+            np.stack([img.features for img in fresh]), real
+        )
+        result.fid_with_reuse[cascade_name] = fid_score(
+            np.stack([img.features for img in reused]), real
+        )
+    return result
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run the reuse study and print the FID comparison."""
+    result = run_reuse_study(scale=scale)
+    rows = [
+        [name, result.fid_without_reuse[name], result.fid_with_reuse[name], result.fid_change(name)]
+        for name in result.fid_without_reuse
+    ]
+    output = "\n".join(
+        [
+            "Reuse study (Section 5)",
+            format_table(["cascade", "FID fresh", "FID reused", "change"], rows),
+        ]
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Evaluation metrics: FID, SLO violation accounting, latency statistics, Pareto utilities."""
+
+from repro.metrics.fid import frechet_distance, fid_score
+from repro.metrics.latency import LatencyStats, percentile
+from repro.metrics.pareto import ParetoPoint, pareto_frontier, is_pareto_dominated
+from repro.metrics.slo import SLOReport, SLOTracker
+
+__all__ = [
+    "frechet_distance",
+    "fid_score",
+    "LatencyStats",
+    "percentile",
+    "ParetoPoint",
+    "pareto_frontier",
+    "is_pareto_dominated",
+    "SLOTracker",
+    "SLOReport",
+]

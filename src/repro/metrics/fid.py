@@ -1,0 +1,114 @@
+"""Frechet Inception Distance (FID) over feature sets.
+
+FID fits a Gaussian to each of two feature sets (generated and real) and
+computes the Frechet distance between the Gaussians::
+
+    FID = ||mu_g - mu_r||^2 + Tr(S_g + S_r - 2 (S_g S_r)^{1/2})
+
+This is exactly the metric from Heusel et al. (2017); the only substitution in
+this reproduction is that the features come from the synthetic image model
+rather than an Inception network.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+from scipy import linalg
+
+
+def _fit_gaussian(features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean vector and covariance matrix of a feature set."""
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D array (n_samples, dim)")
+    if features.shape[0] < 2:
+        raise ValueError("need at least 2 samples to estimate a covariance")
+    mu = features.mean(axis=0)
+    sigma = np.cov(features, rowvar=False)
+    return mu, np.atleast_2d(sigma)
+
+
+def frechet_distance(
+    mu1: np.ndarray, sigma1: np.ndarray, mu2: np.ndarray, sigma2: np.ndarray, eps: float = 1e-6
+) -> float:
+    """Frechet distance between two Gaussians given their moments.
+
+    Numerically robust: if the matrix square root fails to converge or comes
+    back complex due to floating point error, a small diagonal offset is added
+    (the standard trick used by reference FID implementations).
+    """
+    mu1 = np.asarray(mu1, dtype=float)
+    mu2 = np.asarray(mu2, dtype=float)
+    sigma1 = np.atleast_2d(np.asarray(sigma1, dtype=float))
+    sigma2 = np.atleast_2d(np.asarray(sigma2, dtype=float))
+    if mu1.shape != mu2.shape:
+        raise ValueError("mean vectors have mismatched shapes")
+    if sigma1.shape != sigma2.shape:
+        raise ValueError("covariance matrices have mismatched shapes")
+
+    def _sqrtm(matrix: np.ndarray) -> np.ndarray:
+        # scipy < 1.18 returns (sqrtm, errest) when disp=False; newer versions
+        # return just the matrix.  Handle both without tripping the
+        # deprecation warning.
+        result = linalg.sqrtm(matrix)
+        return result[0] if isinstance(result, tuple) else result
+
+    diff = mu1 - mu2
+    covmean = _sqrtm(sigma1.dot(sigma2))
+    if not np.isfinite(covmean).all():
+        offset = np.eye(sigma1.shape[0]) * eps
+        covmean = _sqrtm((sigma1 + offset).dot(sigma2 + offset))
+    if np.iscomplexobj(covmean):
+        covmean = covmean.real
+    dist = float(diff.dot(diff) + np.trace(sigma1) + np.trace(sigma2) - 2.0 * np.trace(covmean))
+    # Tiny negative values can appear from floating point error.
+    return max(dist, 0.0)
+
+
+def fid_score(generated_features: np.ndarray, real_features: np.ndarray) -> float:
+    """FID between a set of generated features and a set of real features."""
+    mu_g, sigma_g = _fit_gaussian(np.asarray(generated_features, dtype=float))
+    mu_r, sigma_r = _fit_gaussian(np.asarray(real_features, dtype=float))
+    return frechet_distance(mu_g, sigma_g, mu_r, sigma_r)
+
+
+def fid_from_images(images: Sequence, real_features: np.ndarray) -> float:
+    """FID of a collection of :class:`~repro.models.generation.GeneratedImage`."""
+    if len(images) < 2:
+        raise ValueError("need at least 2 generated images to compute FID")
+    feats = np.stack([img.features for img in images])
+    return fid_score(feats, real_features)
+
+
+def windowed_fid(
+    timestamps: Sequence[float],
+    features: np.ndarray,
+    real_features: np.ndarray,
+    window: float,
+    horizon: float,
+    min_samples: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """FID time series over sliding windows (used for the Figure 5/8 time plots).
+
+    Returns ``(window_centers, fid_values)``; windows with fewer than
+    ``min_samples`` completions carry the previous window's value (or NaN if
+    none exists yet).
+    """
+    if window <= 0 or horizon <= 0:
+        raise ValueError("window and horizon must be positive")
+    timestamps = np.asarray(timestamps, dtype=float)
+    features = np.asarray(features, dtype=float)
+    if len(timestamps) != len(features):
+        raise ValueError("timestamps and features must align")
+    edges = np.arange(0.0, horizon + window, window)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    values = np.full(len(centers), np.nan)
+    last = np.nan
+    for i, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
+        mask = (timestamps >= lo) & (timestamps < hi)
+        if mask.sum() >= min_samples:
+            last = fid_score(features[mask], real_features)
+        values[i] = last
+    return centers, values

@@ -1,0 +1,56 @@
+"""Latency statistics helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values``; NaN for empty input."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_latencies(cls, latencies: Sequence[float]) -> "LatencyStats":
+        """Build a summary from raw latency samples."""
+        arr = np.asarray(list(latencies), dtype=float)
+        if arr.size == 0:
+            nan = float("nan")
+            return cls(count=0, mean=nan, p50=nan, p95=nan, p99=nan, maximum=nan)
+        if np.any(arr < 0):
+            raise ValueError("latencies must be non-negative")
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            maximum=float(arr.max()),
+        )
+
+    def __str__(self) -> str:
+        if self.count == 0:
+            return "LatencyStats(empty)"
+        return (
+            f"LatencyStats(n={self.count}, mean={self.mean:.3f}s, p50={self.p50:.3f}s, "
+            f"p95={self.p95:.3f}s, p99={self.p99:.3f}s, max={self.maximum:.3f}s)"
+        )

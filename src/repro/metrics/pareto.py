@@ -1,0 +1,119 @@
+"""Pareto-frontier utilities.
+
+The resource-allocation analysis (Figure 1c) and the static-trace comparison
+(Figure 4) reason about Pareto frontiers over two objectives — e.g. response
+quality (FID, lower is better) vs. serving throughput (higher is better) or
+SLO violation ratio (lower is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A point in a two-objective trade-off space.
+
+    ``x`` and ``y`` are the two objectives; ``payload`` carries the
+    configuration that produced the point (threshold, batch sizes, placement).
+    """
+
+    x: float
+    y: float
+    payload: Any = None
+
+
+def _better_or_equal(a: float, b: float, minimize: bool) -> bool:
+    return a <= b if minimize else a >= b
+
+
+def _strictly_better(a: float, b: float, minimize: bool) -> bool:
+    return a < b if minimize else a > b
+
+
+def is_pareto_dominated(
+    point: ParetoPoint,
+    others: Iterable[ParetoPoint],
+    *,
+    minimize_x: bool = True,
+    minimize_y: bool = True,
+) -> bool:
+    """True if some other point is at least as good in both objectives and
+    strictly better in at least one."""
+    for other in others:
+        if other is point:
+            continue
+        geq_x = _better_or_equal(other.x, point.x, minimize_x)
+        geq_y = _better_or_equal(other.y, point.y, minimize_y)
+        strict = _strictly_better(other.x, point.x, minimize_x) or _strictly_better(
+            other.y, point.y, minimize_y
+        )
+        if geq_x and geq_y and strict:
+            return True
+    return False
+
+
+def pareto_frontier(
+    points: Sequence[ParetoPoint],
+    *,
+    minimize_x: bool = True,
+    minimize_y: bool = True,
+) -> List[ParetoPoint]:
+    """Non-dominated subset of ``points``, sorted along the x-axis."""
+    frontier = [
+        p
+        for p in points
+        if not is_pareto_dominated(p, points, minimize_x=minimize_x, minimize_y=minimize_y)
+    ]
+    frontier.sort(key=lambda p: (p.x, p.y))
+    # Remove duplicate coordinates while keeping the first payload.
+    seen: set = set()
+    unique: List[ParetoPoint] = []
+    for p in frontier:
+        key = (round(p.x, 12), round(p.y, 12))
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def hypervolume_2d(
+    frontier: Sequence[ParetoPoint],
+    reference: Tuple[float, float],
+    *,
+    minimize_x: bool = True,
+    minimize_y: bool = True,
+) -> float:
+    """Dominated hypervolume w.r.t. a reference point (both objectives minimised
+    by converting maximised axes).  Used in tests to compare frontiers."""
+    if not frontier:
+        return 0.0
+
+    def to_min(v: float, minimize: bool, ref: float) -> Tuple[float, float]:
+        # Convert a maximised axis into an equivalent minimised one by negation.
+        return (v, ref) if minimize else (-v, -ref)
+
+    pts = []
+    for p in frontier:
+        x, rx = to_min(p.x, minimize_x, reference[0])
+        y, ry = to_min(p.y, minimize_y, reference[1])
+        if x <= rx and y <= ry:
+            pts.append((x, y, rx, ry))
+    if not pts:
+        return 0.0
+    pts.sort(key=lambda t: t[0])
+    volume = 0.0
+    prev_x = None
+    best_y = None
+    rx, ry = pts[0][2], pts[0][3]
+    for x, y, _, _ in pts:
+        if best_y is None or y < best_y:
+            if prev_x is not None and best_y is not None:
+                volume += (x - prev_x) * (ry - best_y)
+            prev_x = x
+            best_y = y
+    if prev_x is not None and best_y is not None:
+        volume += (rx - prev_x) * (ry - best_y)
+    return max(volume, 0.0)

@@ -1,0 +1,25 @@
+"""A small mixed-integer linear programming (MILP) toolkit.
+
+The paper solves its resource-allocation problem with Gurobi.  Gurobi is not
+available offline, so this package provides a from-scratch MILP solver built
+on :func:`scipy.optimize.linprog` LP relaxations with best-first
+branch-and-bound, plus an exhaustive enumerator used for cross-checking on
+small problems.  Both solvers accept the same declarative problem description.
+"""
+
+from repro.milp.problem import Constraint, MILPProblem, Sense, Variable, VarType
+from repro.milp.solution import MILPSolution, SolveStatus
+from repro.milp.branch_and_bound import BranchAndBoundSolver
+from repro.milp.exhaustive import ExhaustiveSolver
+
+__all__ = [
+    "Variable",
+    "VarType",
+    "Constraint",
+    "Sense",
+    "MILPProblem",
+    "MILPSolution",
+    "SolveStatus",
+    "BranchAndBoundSolver",
+    "ExhaustiveSolver",
+]

@@ -1,0 +1,158 @@
+"""Best-first branch-and-bound MILP solver over scipy LP relaxations."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.milp.problem import MILPProblem
+from repro.milp.solution import MILPSolution, SolveStatus
+
+Bounds = Dict[str, Tuple[float, Optional[float]]]
+
+
+@dataclass(order=True)
+class _Node:
+    # Max-heap on the LP bound: store negative bound for heapq.
+    neg_bound: float
+    seq: int
+    bounds: Bounds = field(compare=False)
+
+
+class BranchAndBoundSolver:
+    """Solves MILPs via LP-relaxation branch-and-bound.
+
+    The search is best-first on the LP relaxation bound; branching picks the
+    integral variable whose relaxed value is most fractional.  The small
+    allocation problems produced by DiffServe solve in a handful of nodes.
+    """
+
+    def __init__(
+        self,
+        *,
+        tol: float = 1e-6,
+        max_nodes: int = 10000,
+        mip_gap: float = 1e-6,
+    ) -> None:
+        if max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+        self.tol = tol
+        self.max_nodes = max_nodes
+        self.mip_gap = mip_gap
+
+    # -------------------------------------------------------------- LP solve
+    def _solve_relaxation(
+        self, problem: MILPProblem, bounds: Bounds
+    ) -> Tuple[Optional[Dict[str, float]], Optional[float], str]:
+        mats = problem.to_matrices(extra_bounds=bounds)
+        result = linprog(
+            c=mats["c"],
+            A_ub=mats["A_ub"],
+            b_ub=mats["b_ub"],
+            A_eq=mats["A_eq"],
+            b_eq=mats["b_eq"],
+            bounds=mats["bounds"],
+            method="highs",
+        )
+        if result.status == 2:  # infeasible
+            return None, None, "infeasible"
+        if result.status == 3:  # unbounded
+            return None, None, "unbounded"
+        if not result.success:
+            return None, None, "error"
+        values = {name: float(v) for name, v in zip(mats["order"], result.x)}
+        objective = -float(result.fun)  # we minimised the negated objective
+        return values, objective, "optimal"
+
+    def _most_fractional(self, problem: MILPProblem, values: Dict[str, float]) -> Optional[str]:
+        best_name = None
+        best_frac = self.tol
+        for name, var in problem.variables.items():
+            if not var.is_integral:
+                continue
+            value = values[name]
+            frac = abs(value - round(value))
+            # Distance from the nearest half-integer measures "fractionality".
+            distance_to_half = abs(frac - 0.0)
+            if distance_to_half > best_frac:
+                best_frac = distance_to_half
+                best_name = name
+        return best_name
+
+    # ----------------------------------------------------------------- solve
+    def solve(self, problem: MILPProblem) -> MILPSolution:
+        """Solve ``problem`` to optimality (or until the node limit)."""
+        start = time.perf_counter()
+        counter = itertools.count()
+        root_bounds: Bounds = {}
+
+        values, bound, status = self._solve_relaxation(problem, root_bounds)
+        if status == "infeasible":
+            return MILPSolution(
+                status=SolveStatus.INFEASIBLE, solve_time_s=time.perf_counter() - start
+            )
+        if status == "unbounded":
+            return MILPSolution(
+                status=SolveStatus.UNBOUNDED, solve_time_s=time.perf_counter() - start
+            )
+        if status == "error" or values is None or bound is None:
+            return MILPSolution(status=SolveStatus.ERROR, solve_time_s=time.perf_counter() - start)
+
+        heap: list[_Node] = [_Node(neg_bound=-bound, seq=next(counter), bounds=root_bounds)]
+        incumbent: Optional[Dict[str, float]] = None
+        incumbent_obj = -np.inf
+        nodes = 0
+
+        while heap and nodes < self.max_nodes:
+            node = heapq.heappop(heap)
+            nodes += 1
+            # Prune against the incumbent.
+            if -node.neg_bound <= incumbent_obj + self.mip_gap:
+                continue
+            values, bound, status = self._solve_relaxation(problem, node.bounds)
+            if status != "optimal" or values is None or bound is None:
+                continue
+            if bound <= incumbent_obj + self.mip_gap:
+                continue
+            branch_var = self._most_fractional(problem, values)
+            if branch_var is None:
+                # Integral solution: round integral vars exactly and accept.
+                rounded = {
+                    name: (round(v) if problem.variables[name].is_integral else v)
+                    for name, v in values.items()
+                }
+                obj = problem.objective_value(rounded)
+                if obj > incumbent_obj and problem.is_feasible(rounded, tol=1e-5):
+                    incumbent_obj = obj
+                    incumbent = rounded
+                continue
+            value = values[branch_var]
+            floor_v = float(np.floor(value))
+            ceil_v = float(np.ceil(value))
+            lo, hi = node.bounds.get(branch_var, (-np.inf, None))
+
+            down_bounds = dict(node.bounds)
+            down_bounds[branch_var] = (lo, floor_v if hi is None else min(hi, floor_v))
+            up_bounds = dict(node.bounds)
+            up_bounds[branch_var] = (max(lo, ceil_v), hi)
+            for child in (down_bounds, up_bounds):
+                heapq.heappush(heap, _Node(neg_bound=-bound, seq=next(counter), bounds=child))
+
+        elapsed = time.perf_counter() - start
+        if incumbent is None:
+            status_out = SolveStatus.NODE_LIMIT if heap else SolveStatus.INFEASIBLE
+            return MILPSolution(status=status_out, nodes_explored=nodes, solve_time_s=elapsed)
+        status_out = SolveStatus.OPTIMAL if not heap or nodes < self.max_nodes else SolveStatus.NODE_LIMIT
+        return MILPSolution(
+            status=SolveStatus.OPTIMAL if status_out == SolveStatus.OPTIMAL else status_out,
+            objective=incumbent_obj,
+            values=incumbent,
+            nodes_explored=nodes,
+            solve_time_s=elapsed,
+        )

@@ -1,0 +1,135 @@
+"""Exhaustive MILP solver for small, fully bounded integer problems.
+
+Used to cross-check the branch-and-bound solver in tests and as a fallback
+when every variable is integral with small bounded domains (the DiffServe
+allocation problem has at most a few thousand candidate assignments).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.milp.problem import MILPProblem, Sense
+from repro.milp.solution import MILPSolution, SolveStatus
+
+
+class ExhaustiveSolver:
+    """Enumerates all integral assignments; continuous variables are optimised
+    per assignment with an LP."""
+
+    def __init__(self, max_combinations: int = 2_000_000) -> None:
+        if max_combinations < 1:
+            raise ValueError("max_combinations must be >= 1")
+        self.max_combinations = max_combinations
+
+    def _integer_domains(self, problem: MILPProblem) -> Dict[str, List[int]]:
+        domains: Dict[str, List[int]] = {}
+        for name, var in problem.variables.items():
+            if not var.is_integral:
+                continue
+            if var.upper is None:
+                raise ValueError(
+                    f"exhaustive solver requires bounded integer variables; {name!r} is unbounded"
+                )
+            lo = int(np.ceil(var.lower))
+            hi = int(np.floor(var.upper))
+            domains[name] = list(range(lo, hi + 1))
+        return domains
+
+    def solve(self, problem: MILPProblem) -> MILPSolution:
+        """Enumerate the integral grid and return the best feasible assignment."""
+        start = time.perf_counter()
+        domains = self._integer_domains(problem)
+        int_names = list(domains)
+        cont_names = [n for n, v in problem.variables.items() if not v.is_integral]
+
+        total = 1
+        for values in domains.values():
+            total *= len(values)
+        if total > self.max_combinations:
+            raise ValueError(
+                f"search space too large for exhaustive solver ({total} combinations)"
+            )
+
+        best_obj = -np.inf
+        best_values: Optional[Dict[str, float]] = None
+        checked = 0
+        for combo in itertools.product(*(domains[name] for name in int_names)):
+            checked += 1
+            assignment = {name: float(v) for name, v in zip(int_names, combo)}
+            if cont_names:
+                full = self._optimise_continuous(problem, assignment, cont_names)
+                if full is None:
+                    continue
+            else:
+                if not problem.is_feasible(assignment):
+                    continue
+                full = assignment
+            obj = problem.objective_value(full)
+            if obj > best_obj:
+                best_obj = obj
+                best_values = dict(full)
+
+        elapsed = time.perf_counter() - start
+        if best_values is None:
+            return MILPSolution(status=SolveStatus.INFEASIBLE, solve_time_s=elapsed)
+        return MILPSolution(
+            status=SolveStatus.OPTIMAL,
+            objective=best_obj,
+            values=best_values,
+            nodes_explored=checked,
+            solve_time_s=elapsed,
+        )
+
+    def _optimise_continuous(
+        self, problem: MILPProblem, fixed: Dict[str, float], cont_names: List[str]
+    ) -> Optional[Dict[str, float]]:
+        """LP over the continuous variables with the integral ones fixed."""
+        index = {name: i for i, name in enumerate(cont_names)}
+        c = np.zeros(len(cont_names))
+        for name, coeff in problem.objective.items():
+            if name in index:
+                c[index[name]] = -coeff
+        A_ub, b_ub, A_eq, b_eq = [], [], [], []
+        for con in problem.constraints:
+            row = np.zeros(len(cont_names))
+            const = 0.0
+            for name, coeff in con.coefficients.items():
+                if name in index:
+                    row[index[name]] = coeff
+                else:
+                    const += coeff * fixed[name]
+            rhs = con.rhs - const
+            if con.sense == Sense.LE:
+                A_ub.append(row)
+                b_ub.append(rhs)
+            elif con.sense == Sense.GE:
+                A_ub.append(-row)
+                b_ub.append(-rhs)
+            else:
+                A_eq.append(row)
+                b_eq.append(rhs)
+        bounds = [
+            (problem.variables[n].lower, problem.variables[n].upper) for n in cont_names
+        ]
+        result = linprog(
+            c=c,
+            A_ub=np.vstack(A_ub) if A_ub else None,
+            b_ub=np.array(b_ub) if b_ub else None,
+            A_eq=np.vstack(A_eq) if A_eq else None,
+            b_eq=np.array(b_eq) if b_eq else None,
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            return None
+        full = dict(fixed)
+        full.update({name: float(v) for name, v in zip(cont_names, result.x)})
+        if not problem.is_feasible(full, tol=1e-5):
+            return None
+        return full

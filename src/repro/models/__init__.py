@@ -1,0 +1,46 @@
+"""Synthetic diffusion-model substrate.
+
+The real DiffServe testbed executes diffusion models (SD-Turbo, SDv1.5, SDXS,
+SDXL-Lightning, SDXL) on A100 GPUs.  This package replaces those models with a
+calibrated synthetic substrate:
+
+* :mod:`repro.models.profiles` — per-batch execution latency profiles matching
+  the per-image latencies reported in the paper.
+* :mod:`repro.models.variants` / :mod:`repro.models.zoo` — the model variant
+  registry and the three light/heavy cascades evaluated in the paper.
+* :mod:`repro.models.difficulty` — a latent per-query difficulty model that
+  makes 20-40% of queries "easy" (light model matches or beats the heavy
+  model), reproducing Figure 1b.
+* :mod:`repro.models.generation` — synthetic image feature generation with a
+  quality model, used by the FID metric and the discriminators.
+* :mod:`repro.models.scores` — PickScore / CLIPScore analogues with the weak
+  quality correlation that makes them poor cascade discriminators (Figure 1a).
+* :mod:`repro.models.dataset` — MS-COCO-like and DiffusionDB-like synthetic
+  query datasets with real-image reference features.
+"""
+
+from repro.models.dataset import QueryDataset, make_coco_like, make_diffusiondb_like
+from repro.models.difficulty import DifficultyModel
+from repro.models.generation import GeneratedImage, ImageGenerator
+from repro.models.profiles import LatencyProfile
+from repro.models.scores import clip_score, pick_score
+from repro.models.variants import ModelVariant
+from repro.models.zoo import CASCADES, MODEL_ZOO, CascadeSpec, get_cascade, get_variant
+
+__all__ = [
+    "LatencyProfile",
+    "ModelVariant",
+    "MODEL_ZOO",
+    "CASCADES",
+    "CascadeSpec",
+    "get_variant",
+    "get_cascade",
+    "DifficultyModel",
+    "ImageGenerator",
+    "GeneratedImage",
+    "QueryDataset",
+    "make_coco_like",
+    "make_diffusiondb_like",
+    "pick_score",
+    "clip_score",
+]

@@ -1,0 +1,158 @@
+"""Synthetic query datasets standing in for MS-COCO 2017 and DiffusionDB.
+
+The paper uses the first 5K text/image pairs from MS-COCO (Cascades 1-2) and
+DiffusionDB (Cascade 3): prompts drive the workload and the paired real images
+provide the FID reference distribution.  Our synthetic datasets provide the
+same interface — a list of prompts with latent difficulties and a matrix of
+real-image reference features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.models.difficulty import COCO_DIFFICULTY, DIFFUSIONDB_DIFFICULTY, DifficultyModel
+from repro.models.generation import FEATURE_DIM
+
+_SUBJECTS = [
+    "a dog", "a cat", "a bowl of fruit", "a city street", "a mountain lake",
+    "a bicycle", "a plate of food", "two people", "a wooden table", "a red bus",
+    "an astronaut", "a castle", "a robot", "a sailboat", "a garden",
+]
+_STYLES = [
+    "", "at sunset", "in the rain", "in watercolor style", "with dramatic lighting",
+    "macro photograph", "digital art, highly detailed", "oil painting",
+    "isometric 3d render", "studio lighting, 85mm lens",
+]
+_MODIFIERS = [
+    "", "photorealistic", "8k, intricate details", "minimalist", "surreal",
+    "trending on artstation", "cinematic composition",
+]
+
+
+@dataclass
+class QueryDataset:
+    """A prompt dataset with latent difficulties and real reference features.
+
+    Attributes
+    ----------
+    name:
+        Dataset label (``"coco"`` or ``"diffusiondb"``).
+    prompts:
+        Text prompts (queries).
+    difficulties:
+        Latent difficulty per prompt, aligned with ``prompts``.
+    real_features:
+        Reference real-image features used as the FID ground-truth
+        distribution (``len(prompts) x FEATURE_DIM``).
+    resolution:
+        Image resolution associated with the dataset.
+    """
+
+    name: str
+    prompts: List[str]
+    difficulties: np.ndarray
+    real_features: np.ndarray
+    resolution: int = 512
+
+    def __post_init__(self) -> None:
+        if len(self.prompts) != len(self.difficulties):
+            raise ValueError("prompts and difficulties must be the same length")
+        if len(self.prompts) != len(self.real_features):
+            raise ValueError("prompts and real_features must be the same length")
+        self.difficulties = np.asarray(self.difficulties, dtype=float)
+        if self.difficulties.size and (
+            self.difficulties.min() < 0 or self.difficulties.max() > 1
+        ):
+            raise ValueError("difficulties must lie in [0, 1]")
+
+    def __len__(self) -> int:
+        return len(self.prompts)
+
+    def difficulty(self, query_id: int) -> float:
+        """Latent difficulty of query ``query_id`` (index modulo dataset size)."""
+        return float(self.difficulties[query_id % len(self)])
+
+    def prompt(self, query_id: int) -> str:
+        """Prompt text of query ``query_id`` (index modulo dataset size)."""
+        return self.prompts[query_id % len(self)]
+
+    def subset(self, n: int) -> "QueryDataset":
+        """First ``n`` prompts (paper uses the first 5K of each dataset)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        n = min(n, len(self))
+        return QueryDataset(
+            name=self.name,
+            prompts=self.prompts[:n],
+            difficulties=self.difficulties[:n],
+            real_features=self.real_features[:n],
+            resolution=self.resolution,
+        )
+
+
+def _make_prompts(n: int, difficulties: np.ndarray, rng: np.random.Generator, long_form: bool) -> List[str]:
+    """Compose synthetic prompts whose verbosity grows with difficulty."""
+    prompts = []
+    for i in range(n):
+        d = difficulties[i]
+        subject = _SUBJECTS[int(rng.integers(len(_SUBJECTS)))]
+        parts = [subject]
+        # Harder prompts are longer / more compositional.
+        n_extras = 1 + int(round(d * (4 if long_form else 2)))
+        for _ in range(n_extras):
+            pool = _STYLES if rng.random() < 0.5 else _MODIFIERS
+            extra = pool[int(rng.integers(len(pool)))]
+            if extra:
+                parts.append(extra)
+        prompts.append(", ".join(parts))
+    return prompts
+
+
+def _make_dataset(
+    name: str,
+    n: int,
+    difficulty_model: DifficultyModel,
+    resolution: int,
+    seed: int,
+    long_form: bool,
+    feature_dim: int,
+) -> QueryDataset:
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    difficulties = difficulty_model.sample(n, rng)
+    prompts = _make_prompts(n, difficulties, rng, long_form)
+    real_features = rng.normal(0.0, 1.0, size=(n, feature_dim))
+    return QueryDataset(
+        name=name,
+        prompts=prompts,
+        difficulties=difficulties,
+        real_features=real_features,
+        resolution=resolution,
+    )
+
+
+def make_coco_like(n: int = 5000, seed: int = 0, feature_dim: int = FEATURE_DIM) -> QueryDataset:
+    """MS-COCO-2017-like caption dataset (512x512, Cascades 1-2)."""
+    return _make_dataset("coco", n, COCO_DIFFICULTY, 512, seed, long_form=False, feature_dim=feature_dim)
+
+
+def make_diffusiondb_like(n: int = 5000, seed: int = 0, feature_dim: int = FEATURE_DIM) -> QueryDataset:
+    """DiffusionDB-like user-prompt dataset (1024x1024, Cascade 3)."""
+    return _make_dataset(
+        "diffusiondb", n, DIFFUSIONDB_DIFFICULTY, 1024, seed, long_form=True, feature_dim=feature_dim
+    )
+
+
+def load_dataset(name: str, n: int = 5000, seed: int = 0) -> QueryDataset:
+    """Load a dataset by name (``"coco"`` or ``"diffusiondb"``)."""
+    key = name.lower()
+    if key in ("coco", "ms-coco", "mscoco"):
+        return make_coco_like(n, seed)
+    if key in ("diffusiondb", "ddb"):
+        return make_diffusiondb_like(n, seed)
+    raise KeyError(f"unknown dataset {name!r}; expected 'coco' or 'diffusiondb'")

@@ -1,0 +1,62 @@
+"""Latent query-difficulty model.
+
+Query-aware model scaling rests on the observation that some text prompts are
+inherently "easy": a lightweight model produces an image as good as (or
+better than) the heavyweight model.  We model this with a latent difficulty
+``d`` in [0, 1] per query, sampled from a Beta distribution.  Easy prompts
+(small ``d``) are short, concrete, common-object prompts; hard prompts (large
+``d``) are long, compositional or stylistically demanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DifficultyModel:
+    """Samples per-query latent difficulties.
+
+    Attributes
+    ----------
+    alpha, beta:
+        Beta-distribution shape parameters.  The default (2.0, 2.5) yields a
+        mean difficulty ~0.44 with substantial mass near both ends, which
+        calibrates the easy-query fraction into the paper's 20-40% band.
+    """
+
+    alpha: float = 2.0
+    beta: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError("Beta shape parameters must be positive")
+
+    @property
+    def mean(self) -> float:
+        """Expected difficulty."""
+        return self.alpha / (self.alpha + self.beta)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``n`` difficulties in [0, 1]."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return rng.beta(self.alpha, self.beta, size=n)
+
+    def quantile(self, q: float) -> float:
+        """Difficulty quantile (used to construct skewed workloads)."""
+        from scipy.stats import beta as beta_dist
+
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        return float(beta_dist.ppf(q, self.alpha, self.beta))
+
+
+#: Difficulty model for MS-COCO-style captions (Cascades 1-2).
+COCO_DIFFICULTY = DifficultyModel(alpha=2.0, beta=2.5)
+
+#: Difficulty model for DiffusionDB-style user prompts (Cascade 3); user
+#: prompts are longer and more compositional, hence slightly harder.
+DIFFUSIONDB_DIFFICULTY = DifficultyModel(alpha=2.4, beta=2.2)

@@ -1,0 +1,174 @@
+"""Synthetic image generation.
+
+A generated "image" is represented by a low-dimensional feature vector (the
+analogue of Inception features used by FID) plus a latent scalar quality.
+The feature model is constructed so that:
+
+* all diffusion outputs share a fixed offset from the real-image manifold
+  (the "generated look"), giving a base FID in the paper's range;
+* lower-quality outputs drift further along an artifact direction, so FID
+  rises as average quality falls;
+* heavyweight models produce slightly less diverse features (smaller
+  covariance), while lightweight models are more diverse;
+* per-query quality follows the variant's :class:`~repro.models.variants.QualityModel`,
+  so that on easy queries the light model matches or beats the heavy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.variants import ModelVariant
+from repro.simulator.rng import stable_hash
+
+#: Dimensionality of the synthetic image feature space.
+FEATURE_DIM = 16
+
+#: Magnitude of the fixed offset between real and generated feature means.
+#: Its square (~15) is the base FID of a perfect-quality generator.
+_BASE_OFFSET_NORM = 3.87
+
+#: Scale converting quality deficit (1 - quality) into additional offset along
+#: the artifact direction, on top of the base offset.
+_ARTIFACT_GAIN = 1.6
+
+
+def _unit_vector(dim: int, index: int) -> np.ndarray:
+    v = np.zeros(dim)
+    v[index] = 1.0
+    return v
+
+
+@dataclass(frozen=True)
+class GeneratedImage:
+    """The output of one diffusion model execution for one query.
+
+    Attributes
+    ----------
+    query_id:
+        Identifier of the query (prompt) the image was generated for.
+    variant_name:
+        Which model variant produced it.
+    quality:
+        Latent scalar quality in [0, 1]; not observable by the serving system
+        (only the discriminator's confidence estimate is).
+    features:
+        Synthetic Inception-like feature vector used for FID and by the
+        discriminators.
+    seed:
+        Generation seed (used by the reuse study for latent reuse).
+    """
+
+    query_id: int
+    variant_name: str
+    quality: float
+    features: np.ndarray
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quality <= 1.0:
+            raise ValueError("quality must lie in [0, 1]")
+        if self.features.ndim != 1:
+            raise ValueError("features must be a 1-D vector")
+
+
+class ImageGenerator:
+    """Generates synthetic images for (query, variant) pairs.
+
+    The generator is deterministic given ``(seed, query_id, variant)``: the
+    same query processed twice by the same variant yields the same image.
+    This mirrors fixed-seed diffusion sampling and keeps simulations
+    reproducible regardless of the order in which workers execute queries.
+    """
+
+    def __init__(self, seed: int = 0, feature_dim: int = FEATURE_DIM) -> None:
+        if feature_dim < 4:
+            raise ValueError("feature_dim must be >= 4")
+        self.seed = int(seed)
+        self.feature_dim = int(feature_dim)
+        # Fixed directions of the generative "domain gap" and of artifacts.
+        self._domain_offset = _BASE_OFFSET_NORM * _unit_vector(feature_dim, 0)
+        self._artifact_direction = _unit_vector(feature_dim, 0)
+
+    # ------------------------------------------------------------------ rng
+    def _rng_for(self, query_id: int, variant: ModelVariant) -> np.random.Generator:
+        return np.random.default_rng(stable_hash(self.seed, int(query_id), variant.name))
+
+    # ------------------------------------------------------------- sampling
+    def sample_quality(
+        self, difficulty: float, variant: ModelVariant, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Sample the latent quality of ``variant`` on a query of ``difficulty``."""
+        if not 0.0 <= difficulty <= 1.0:
+            raise ValueError("difficulty must lie in [0, 1]")
+        qm = variant.quality
+        mean = qm.mean_quality(difficulty)
+        noise = 0.0
+        if rng is not None and qm.quality_noise > 0:
+            noise = float(rng.normal(0.0, qm.quality_noise))
+        return float(np.clip(mean + noise, 0.0, 1.0))
+
+    def generate(
+        self,
+        query_id: int,
+        difficulty: float,
+        variant: ModelVariant,
+        *,
+        reuse_from: Optional[GeneratedImage] = None,
+        reuse_penalty: float = 0.0,
+    ) -> GeneratedImage:
+        """Generate the image ``variant`` produces for a query.
+
+        Parameters
+        ----------
+        query_id, difficulty:
+            Identity and latent difficulty of the query.
+        variant:
+            The diffusion model variant executing the query.
+        reuse_from:
+            If given, the heavy model starts from the light model's output
+            (the "reuse opportunities" discussion in Section 5).  Reuse within
+            the same model family is quality-neutral; across families it
+            degrades quality by ``reuse_penalty``.
+        reuse_penalty:
+            Quality penalty applied when reusing an incompatible latent.
+        """
+        rng = self._rng_for(query_id, variant)
+        quality = self.sample_quality(difficulty, variant, rng)
+        if reuse_from is not None and reuse_penalty > 0:
+            quality = float(np.clip(quality - reuse_penalty, 0.0, 1.0))
+
+        qm = variant.quality
+        core = rng.normal(0.0, np.sqrt(qm.diversity), size=self.feature_dim)
+        artifact_shift = (1.0 - quality) * qm.artifact_scale * _ARTIFACT_GAIN
+        features = core + self._domain_offset + artifact_shift * self._artifact_direction
+        return GeneratedImage(
+            query_id=int(query_id),
+            variant_name=variant.name,
+            quality=quality,
+            features=features,
+            seed=self.seed,
+        )
+
+    def generate_batch(
+        self,
+        query_ids: Sequence[int],
+        difficulties: Sequence[float],
+        variant: ModelVariant,
+    ) -> list:
+        """Generate images for a batch of queries."""
+        if len(query_ids) != len(difficulties):
+            raise ValueError("query_ids and difficulties must have the same length")
+        return [
+            self.generate(qid, d, variant) for qid, d in zip(query_ids, difficulties)
+        ]
+
+    # ------------------------------------------------------------ real data
+    def sample_real_features(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``n`` real-image feature vectors (the FID reference set)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return rng.normal(0.0, 1.0, size=(n, self.feature_dim))

@@ -1,0 +1,78 @@
+"""Quantitative image-quality metric analogues (PickScore, CLIPScore).
+
+Section 2 of the paper shows that cascades routed by PickScore or CLIPScore
+thresholds perform *no better than random routing* (Figure 1a), because:
+
+* PickScore is only comparable between images generated from the *same*
+  prompt — scores carry a large per-prompt offset, so a single global
+  threshold conflates prompt identity with image quality;
+* CLIPScore measures prompt/image semantic alignment, which is nearly
+  identical across model variants and only weakly reflects perceptual
+  quality.
+
+The analogues below reproduce exactly these failure modes: both scores are a
+function of the latent image quality, but PickScore adds a large per-query
+offset and CLIPScore has a weak quality coefficient drowned in noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.generation import GeneratedImage
+from repro.simulator.rng import stable_hash
+
+#: Strength of the per-query offset in PickScore (dominates the quality term
+#: when comparing across prompts).
+_PICK_QUERY_OFFSET_STD = 0.9
+
+#: Quality coefficient of PickScore (strong *within* a prompt).
+_PICK_QUALITY_GAIN = 1.0
+
+#: Quality coefficient of CLIPScore (weak; alignment, not perceptual quality).
+_CLIP_QUALITY_GAIN = 0.02
+
+#: Observation noise of CLIPScore.
+_CLIP_NOISE_STD = 0.05
+
+
+def _query_rng(query_id: int, salt: str) -> np.random.Generator:
+    return np.random.default_rng(stable_hash(salt, int(query_id)))
+
+
+def pick_score(image: GeneratedImage, rng: Optional[np.random.Generator] = None) -> float:
+    """PickScore analogue for a generated image.
+
+    Within one prompt, higher quality gives a higher score (so the *difference*
+    of PickScores between two models on the same prompt is meaningful, as used
+    in Figure 1b).  Across prompts the per-query offset dominates, so a global
+    threshold cannot separate easy from hard queries.
+    """
+    query_rng = _query_rng(image.query_id, "pickscore-offset")
+    offset = float(query_rng.normal(0.0, _PICK_QUERY_OFFSET_STD))
+    noise = 0.0
+    if rng is not None:
+        noise = float(rng.normal(0.0, 0.05))
+    return 20.0 + offset + _PICK_QUALITY_GAIN * image.quality + noise
+
+
+def clip_score(image: GeneratedImage, rng: Optional[np.random.Generator] = None) -> float:
+    """CLIPScore analogue: weakly correlated with perceptual quality."""
+    query_rng = _query_rng(image.query_id, "clipscore-offset")
+    offset = float(query_rng.normal(0.0, 0.06))
+    noise = 0.0
+    if rng is not None:
+        noise = float(rng.normal(0.0, _CLIP_NOISE_STD))
+    return 0.30 + offset + _CLIP_QUALITY_GAIN * image.quality + noise
+
+
+def pick_score_difference(light: GeneratedImage, heavy: GeneratedImage) -> float:
+    """PickScore(light) - PickScore(heavy) for the same prompt (Figure 1b).
+
+    The per-query offsets cancel, leaving the (meaningful) quality difference.
+    """
+    if light.query_id != heavy.query_id:
+        raise ValueError("PickScore differences are only meaningful for the same prompt")
+    return pick_score(light) - pick_score(heavy)

@@ -1,0 +1,134 @@
+"""Model variant descriptions.
+
+A :class:`ModelVariant` bundles everything the serving system and the
+synthetic substrate need to know about one diffusion model: its latency
+profile, its resolution, and its calibrated quality parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.models.profiles import LatencyProfile
+
+
+@dataclass(frozen=True)
+class QualityModel:
+    """Calibrated quality behaviour of one diffusion model variant.
+
+    The latent quality of the image a variant generates for a query with
+    difficulty ``d`` (in [0, 1]) is::
+
+        quality = base_quality - difficulty_sensitivity * d + noise
+
+    clipped to [0, 1].  Heavyweight models have a high ``base_quality`` and a
+    low ``difficulty_sensitivity`` (they handle hard prompts gracefully);
+    lightweight models degrade faster with difficulty but match the heavy
+    model on easy prompts — this is what creates the 20-40% of easy queries
+    observed in Figure 1b.
+
+    ``artifact_scale`` and ``diversity`` shape the synthetic image features:
+    ``artifact_scale`` is how far generated features drift from the real-image
+    manifold as quality drops (drives FID up), and ``diversity`` scales the
+    covariance of the generated feature distribution.  Heavy models are less
+    diverse (diversity < 1), which is what allows a light/heavy *mixture* to
+    achieve a slightly lower FID than the heavy model alone — the surprising
+    effect discussed with Figure 1a.
+    """
+
+    base_quality: float
+    difficulty_sensitivity: float
+    quality_noise: float = 0.05
+    artifact_scale: float = 1.0
+    diversity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.base_quality <= 1.5:
+            raise ValueError("base_quality must be in (0, 1.5]")
+        if self.difficulty_sensitivity < 0:
+            raise ValueError("difficulty_sensitivity must be non-negative")
+        if self.quality_noise < 0:
+            raise ValueError("quality_noise must be non-negative")
+        if self.diversity <= 0:
+            raise ValueError("diversity must be positive")
+
+    def mean_quality(self, difficulty: float) -> float:
+        """Expected quality (before noise, unclipped) at a given difficulty."""
+        return self.base_quality - self.difficulty_sensitivity * difficulty
+
+
+@dataclass(frozen=True)
+class ModelVariant:
+    """A diffusion model variant registered with the Model Repository.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"sd-turbo"`` or ``"sd-v1.5"``.
+    display_name:
+        Human-readable name used in figures.
+    steps:
+        Number of denoising steps the variant is executed with.
+    resolution:
+        Output image resolution (pixels per side).
+    latency:
+        Execution latency profile on an A100-80GB-class device.
+    quality:
+        Calibrated quality behaviour.
+    family:
+        Model family label ("sd", "sdxl", ...) — used by the reuse study,
+        where reusing intermediate latents is only compatible within a family.
+    memory_gb:
+        Approximate GPU memory footprint, used by placement sanity checks.
+    """
+
+    name: str
+    display_name: str
+    steps: int
+    resolution: int
+    latency: LatencyProfile
+    quality: QualityModel
+    family: str = "sd"
+    memory_gb: float = 8.0
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.resolution not in (256, 512, 768, 1024):
+            raise ValueError(f"unsupported resolution {self.resolution}")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+
+    # Convenience pass-throughs --------------------------------------------
+    def execution_latency(self, batch_size: int) -> float:
+        """Deterministic execution latency for a batch (seconds)."""
+        return self.latency.latency(batch_size)
+
+    def throughput(self, batch_size: int) -> float:
+        """Single-worker throughput at ``batch_size`` (queries/second)."""
+        return self.latency.throughput(batch_size)
+
+    def with_steps(self, steps: int, latency_scale: Optional[float] = None) -> "ModelVariant":
+        """Derive a new variant running with a different number of steps.
+
+        Diffusion latency is roughly linear in the number of denoising steps,
+        and quality saturates; this helper scales the latency profile
+        accordingly and is used to build e.g. ``SDv1.5 (DPMS++)`` style
+        variants for the motivation figure.
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        scale = latency_scale if latency_scale is not None else steps / self.steps
+        new_latency = replace(self.latency, per_image=self.latency.per_image * scale)
+        return replace(
+            self,
+            name=f"{self.name}-{steps}step",
+            display_name=f"{self.display_name} ({steps} steps)",
+            steps=steps,
+            latency=new_latency,
+        )
+
+    def __str__(self) -> str:
+        return self.display_name

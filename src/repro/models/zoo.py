@@ -1,0 +1,271 @@
+"""The model zoo: the diffusion model variants and cascades used in the paper.
+
+Latencies are the per-image A100-80GB numbers reported in Section 4.1:
+
+* SD-Turbo:         ~0.10 s / image (1 step, 512x512)
+* SDXS-512-0.9:     ~0.05 s / image (1 step, 512x512)
+* SDv1.5:           ~1.78 s / image (50 steps, 512x512)
+* SDXL-Lightning:   ~0.50 s / image (2 steps, 1024x1024)
+* SDXL:             ~6.00 s / image (50 steps, 1024x1024)
+
+Quality parameters are calibrated so that the resulting FID scores and the
+fraction of easy queries match the ranges reported in the paper (FID ~16-26 on
+MS-COCO-like data; 20-40% of queries easy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.models.profiles import LatencyProfile
+from repro.models.variants import ModelVariant, QualityModel
+
+# --------------------------------------------------------------------------
+# Variant registry
+# --------------------------------------------------------------------------
+
+MODEL_ZOO: Dict[str, ModelVariant] = {}
+
+
+def _register(variant: ModelVariant) -> ModelVariant:
+    if variant.name in MODEL_ZOO:
+        raise ValueError(f"duplicate variant name {variant.name!r}")
+    MODEL_ZOO[variant.name] = variant
+    return variant
+
+
+SD_TURBO = _register(
+    ModelVariant(
+        name="sd-turbo",
+        display_name="SD-Turbo",
+        steps=1,
+        resolution=512,
+        latency=LatencyProfile(per_image=0.10, fixed_overhead=0.010),
+        quality=QualityModel(
+            base_quality=0.90,
+            difficulty_sensitivity=0.42,
+            quality_noise=0.11,
+            artifact_scale=1.38,
+            diversity=1.10,
+        ),
+        family="sd",
+        memory_gb=6.0,
+        tags=("light", "distilled"),
+    )
+)
+
+SDXS = _register(
+    ModelVariant(
+        name="sdxs",
+        display_name="SDXS-512-0.9",
+        steps=1,
+        resolution=512,
+        latency=LatencyProfile(per_image=0.05, fixed_overhead=0.008),
+        quality=QualityModel(
+            base_quality=0.88,
+            difficulty_sensitivity=0.46,
+            quality_noise=0.12,
+            artifact_scale=1.58,
+            diversity=1.15,
+        ),
+        family="sd",
+        memory_gb=4.0,
+        tags=("light", "distilled"),
+    )
+)
+
+SD_V15 = _register(
+    ModelVariant(
+        name="sd-v1.5",
+        display_name="SDv1.5",
+        steps=50,
+        resolution=512,
+        latency=LatencyProfile(per_image=1.78, fixed_overhead=0.020),
+        quality=QualityModel(
+            base_quality=0.92,
+            difficulty_sensitivity=0.20,
+            quality_noise=0.08,
+            artifact_scale=1.00,
+            diversity=0.88,
+        ),
+        family="sd",
+        memory_gb=10.0,
+        tags=("heavy",),
+    )
+)
+
+SD_V15_DPMS = _register(
+    ModelVariant(
+        name="sd-v1.5-dpms",
+        display_name="SDv1.5 (DPMS++)",
+        steps=25,
+        resolution=512,
+        latency=LatencyProfile(per_image=0.95, fixed_overhead=0.020),
+        quality=QualityModel(
+            base_quality=0.905,
+            difficulty_sensitivity=0.24,
+            quality_noise=0.08,
+            artifact_scale=1.05,
+            diversity=0.90,
+        ),
+        family="sd",
+        memory_gb=10.0,
+        tags=("medium",),
+    )
+)
+
+SDXL_TURBO = _register(
+    ModelVariant(
+        name="sdxl-turbo",
+        display_name="SDXL-Turbo",
+        steps=1,
+        resolution=512,
+        latency=LatencyProfile(per_image=0.18, fixed_overhead=0.015),
+        quality=QualityModel(
+            base_quality=0.90,
+            difficulty_sensitivity=0.42,
+            quality_noise=0.10,
+            artifact_scale=1.22,
+            diversity=1.05,
+        ),
+        family="sdxl",
+        memory_gb=12.0,
+        tags=("light", "distilled"),
+    )
+)
+
+TINY_SD_DPMS = _register(
+    ModelVariant(
+        name="tiny-sd-dpms",
+        display_name="TinySD (DPMS++)",
+        steps=25,
+        resolution=512,
+        latency=LatencyProfile(per_image=0.45, fixed_overhead=0.015),
+        quality=QualityModel(
+            base_quality=0.87,
+            difficulty_sensitivity=0.38,
+            quality_noise=0.10,
+            artifact_scale=1.35,
+            diversity=1.05,
+        ),
+        family="sd",
+        memory_gb=4.0,
+        tags=("light",),
+    )
+)
+
+SDXL_LIGHTNING = _register(
+    ModelVariant(
+        name="sdxl-lightning",
+        display_name="SDXL-Lightning",
+        steps=2,
+        resolution=1024,
+        latency=LatencyProfile(per_image=0.50, fixed_overhead=0.020),
+        quality=QualityModel(
+            base_quality=0.92,
+            difficulty_sensitivity=0.38,
+            quality_noise=0.12,
+            artifact_scale=1.32,
+            diversity=1.08,
+        ),
+        family="sdxl",
+        memory_gb=16.0,
+        tags=("light", "distilled"),
+    )
+)
+
+SDXL = _register(
+    ModelVariant(
+        name="sdxl",
+        display_name="SDXL",
+        steps=50,
+        resolution=1024,
+        latency=LatencyProfile(per_image=6.00, fixed_overhead=0.030),
+        quality=QualityModel(
+            base_quality=0.95,
+            difficulty_sensitivity=0.16,
+            quality_noise=0.08,
+            artifact_scale=0.95,
+            diversity=0.85,
+        ),
+        family="sdxl",
+        memory_gb=24.0,
+        tags=("heavy",),
+    )
+)
+
+
+def get_variant(name: str) -> ModelVariant:
+    """Look up a variant by registry name."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model variant {name!r}; known variants: {known}") from None
+
+
+# --------------------------------------------------------------------------
+# Cascades
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CascadeSpec:
+    """A light/heavy diffusion model pair served as a cascade.
+
+    Attributes
+    ----------
+    name:
+        Registry key, matching the artifact's ``-c`` flag values
+        (``sdturbo``, ``sdxs``, ``sdxlltn``).
+    light / heavy:
+        The two model variants.
+    slo:
+        Default latency SLO (seconds) used in the paper for this cascade.
+    dataset:
+        Which synthetic dataset the cascade is evaluated on
+        (``"coco"`` for Cascades 1-2, ``"diffusiondb"`` for Cascade 3).
+    """
+
+    name: str
+    light: ModelVariant
+    heavy: ModelVariant
+    slo: float
+    dataset: str = "coco"
+
+    def __post_init__(self) -> None:
+        if self.slo <= 0:
+            raise ValueError("slo must be positive")
+        if self.light.execution_latency(1) >= self.heavy.execution_latency(1):
+            raise ValueError("light model must be faster than heavy model")
+
+    @property
+    def variants(self) -> Tuple[ModelVariant, ModelVariant]:
+        """(light, heavy) pair."""
+        return (self.light, self.heavy)
+
+
+CASCADES: Dict[str, CascadeSpec] = {
+    "sdturbo": CascadeSpec(name="sdturbo", light=SD_TURBO, heavy=SD_V15, slo=5.0, dataset="coco"),
+    "sdxs": CascadeSpec(name="sdxs", light=SDXS, heavy=SD_V15, slo=5.0, dataset="coco"),
+    "sdxlltn": CascadeSpec(
+        name="sdxlltn", light=SDXL_LIGHTNING, heavy=SDXL, slo=15.0, dataset="diffusiondb"
+    ),
+}
+
+#: Paper-facing aliases.
+CASCADE_1 = CASCADES["sdturbo"]
+CASCADE_2 = CASCADES["sdxs"]
+CASCADE_3 = CASCADES["sdxlltn"]
+
+
+def get_cascade(name: str) -> CascadeSpec:
+    """Look up a cascade by name (``sdturbo``, ``sdxs``, ``sdxlltn`` or ``cascade1..3``)."""
+    aliases = {"cascade1": "sdturbo", "cascade2": "sdxs", "cascade3": "sdxlltn"}
+    key = aliases.get(name.lower().replace("-", "").replace("_", ""), name)
+    try:
+        return CASCADES[key]
+    except KeyError:
+        known = ", ".join(sorted(CASCADES))
+        raise KeyError(f"unknown cascade {name!r}; known cascades: {known}") from None

@@ -1,0 +1,19 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates DiffServe primarily through a discrete-event simulator
+driven by profiled model execution latencies (Section 4.1).  This package
+provides that substrate: a deterministic event queue, a simulation clock,
+actor/process primitives, and reproducible random-number streams.
+"""
+
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.rng import RandomStreams
+from repro.simulator.simulation import Actor, Simulator
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "Actor",
+    "Simulator",
+]

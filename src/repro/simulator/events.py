@@ -1,0 +1,128 @@
+"""Event primitives for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, sequence)`` so that simultaneous
+events are processed in a deterministic order: first by explicit priority,
+then by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds) at which the event fires.
+    priority:
+        Tie-break priority for events at the same time; lower fires first.
+    seq:
+        Monotonic sequence number assigned by the queue; guarantees a total
+        deterministic order.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    name:
+        Optional human-readable label used in debugging and tracing.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default=0)
+    callback: Optional[Callable[[], Any]] = field(default=None, compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be ignored when popped."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the event callback (no-op for cancelled events)."""
+        if self.cancelled or self.callback is None:
+            return None
+        return self.callback()
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    The queue is a thin wrapper around :mod:`heapq` that assigns sequence
+    numbers on push so that ordering is fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run at simulation time ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            name=name,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Pop the earliest non-cancelled event.
+
+        Raises
+        ------
+        IndexError
+            If the queue contains no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Remove all events."""
+        self._heap.clear()
+        self._live = 0

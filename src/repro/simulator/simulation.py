@@ -1,0 +1,138 @@
+"""The simulation driver and actor base class."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.rng import RandomStreams
+
+
+class Simulator:
+    """A discrete-event simulator.
+
+    The simulator owns the clock, the event queue, and the random streams.
+    Actors schedule callbacks with :meth:`schedule` / :meth:`schedule_at` and
+    the driver advances time by repeatedly firing the earliest event.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.events = EventQueue()
+        self.rng = RandomStreams(seed)
+        self.actors: List["Actor"] = []
+        self._stopped = False
+        self._fired = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def events_fired(self) -> int:
+        """Number of events processed so far."""
+        return self._fired
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.events.push(self.now + delay, callback, priority=priority, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.events.push(time, callback, priority=priority, name=name)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self.events.cancel(event)
+
+    # ---------------------------------------------------------------- actors
+    def register(self, actor: "Actor") -> None:
+        """Register an actor so it participates in ``start``/``finish`` hooks."""
+        self.actors.append(actor)
+
+    # --------------------------------------------------------------- running
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time.  ``None``
+            runs until the event queue drains.
+        max_events:
+            Safety valve limiting the number of fired events.
+
+        Returns
+        -------
+        float
+            The simulation time at which the run stopped.
+        """
+        self._stopped = False
+        for actor in self.actors:
+            actor.start()
+        fired_this_run = 0
+        while self.events and not self._stopped:
+            next_time = self.events.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self.events.pop()
+            self.now = event.time
+            event.fire()
+            self._fired += 1
+            fired_this_run += 1
+            if max_events is not None and fired_this_run >= max_events:
+                break
+        if until is not None and not self.events and self.now < until and not self._stopped:
+            self.now = until
+        for actor in self.actors:
+            actor.finish()
+        return self.now
+
+
+class Actor:
+    """Base class for simulation actors (workers, load balancer, controller...).
+
+    Subclasses override :meth:`start` to schedule their initial events and
+    :meth:`finish` to flush statistics when the run ends.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or type(self).__name__
+        sim.register(self)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def start(self) -> None:  # pragma: no cover - default no-op
+        """Hook called once when the simulation run begins."""
+
+    def finish(self) -> None:  # pragma: no cover - default no-op
+        """Hook called once when the simulation run ends."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

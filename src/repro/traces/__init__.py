@@ -1,0 +1,26 @@
+"""Workload traces: arrival processes and demand curves.
+
+The paper drives the system with (a) synthetic static traces at several load
+levels and (b) the Microsoft Azure Functions trace rescaled to the cluster
+capacity with shape-preserving transformations.  This package provides both
+as rate curves plus Poisson arrival-time generation.
+"""
+
+from repro.traces.base import ArrivalTrace, RateCurve
+from repro.traces.azure import azure_functions_like_rate
+from repro.traces.synthetic import (
+    burst_rate,
+    diurnal_rate,
+    static_rate,
+    step_rate,
+)
+
+__all__ = [
+    "RateCurve",
+    "ArrivalTrace",
+    "static_rate",
+    "step_rate",
+    "diurnal_rate",
+    "burst_rate",
+    "azure_functions_like_rate",
+]

@@ -1,0 +1,73 @@
+"""Synthetic rate curves: static, step, diurnal and bursty."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.base import RateCurve
+
+
+def static_rate(qps: float, duration: float, name: str = "static") -> RateCurve:
+    """Constant arrival rate (the synthetic static traces of Section 4.2)."""
+    if qps < 0:
+        raise ValueError("qps must be non-negative")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return RateCurve(times=np.array([0.0, duration]), rates=np.array([qps, qps]), name=name)
+
+
+def step_rate(
+    low_qps: float, high_qps: float, duration: float, step_at: float, name: str = "step"
+) -> RateCurve:
+    """A rate that jumps from ``low_qps`` to ``high_qps`` at ``step_at``."""
+    if not 0 < step_at < duration:
+        raise ValueError("step_at must lie strictly inside (0, duration)")
+    eps = min(1e-3, step_at / 10)
+    times = np.array([0.0, step_at - eps, step_at, duration])
+    rates = np.array([low_qps, low_qps, high_qps, high_qps])
+    return RateCurve(times=times, rates=rates, name=name)
+
+
+def diurnal_rate(
+    min_qps: float,
+    max_qps: float,
+    duration: float,
+    *,
+    n_points: int = 200,
+    phase: float = -np.pi / 2,
+    name: str = "diurnal",
+) -> RateCurve:
+    """A single diurnal wave from trough to peak and back."""
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    times = np.linspace(0.0, duration, n_points)
+    wave = 0.5 * (1 + np.sin(2 * np.pi * times / duration + phase))
+    rates = min_qps + (max_qps - min_qps) * wave
+    return RateCurve(times=times, rates=rates, name=name)
+
+
+def burst_rate(
+    base_qps: float,
+    burst_qps: float,
+    duration: float,
+    *,
+    burst_start: float,
+    burst_length: float,
+    name: str = "burst",
+) -> RateCurve:
+    """A flat rate with one rectangular burst."""
+    if burst_start < 0 or burst_start + burst_length > duration:
+        raise ValueError("burst must lie inside the trace duration")
+    eps = 1e-3
+    times = np.array(
+        [
+            0.0,
+            max(burst_start - eps, 0.0),
+            burst_start,
+            burst_start + burst_length,
+            min(burst_start + burst_length + eps, duration),
+            duration,
+        ]
+    )
+    rates = np.array([base_qps, base_qps, burst_qps, burst_qps, base_qps, base_qps])
+    return RateCurve(times=times, rates=rates, name=name)

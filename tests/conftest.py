@@ -1,0 +1,79 @@
+"""Shared test fixtures.
+
+Expensive artifacts (dataset, trained discriminator, deferral profile) are
+session-scoped so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import DiffServeAllocator
+from repro.discriminators.deferral import DeferralProfile
+from repro.discriminators.training import DiscriminatorTrainer, TrainingConfig
+from repro.models.dataset import make_coco_like
+from repro.models.generation import ImageGenerator
+from repro.models.zoo import get_cascade
+
+
+@pytest.fixture(scope="session")
+def cascade1():
+    """The SD-Turbo -> SDv1.5 cascade."""
+    return get_cascade("sdturbo")
+
+
+@pytest.fixture(scope="session")
+def coco_dataset():
+    """A small MS-COCO-like dataset."""
+    return make_coco_like(400, seed=0)
+
+
+@pytest.fixture(scope="session")
+def image_generator():
+    """Deterministic synthetic image generator."""
+    return ImageGenerator(seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_discriminator(coco_dataset, cascade1, image_generator):
+    """EfficientNet-with-ground-truth discriminator trained on the small dataset."""
+    trainer = DiscriminatorTrainer(
+        coco_dataset, cascade1.light, cascade1.heavy, generator=image_generator
+    )
+    return trainer.train(TrainingConfig(n_train=300, seed=0)).discriminator
+
+
+@pytest.fixture(scope="session")
+def deferral_profile(trained_discriminator, coco_dataset, cascade1, image_generator):
+    """Deferral profile f(t) for the trained discriminator."""
+    return DeferralProfile.profile(
+        trained_discriminator, coco_dataset, cascade1.light, generator=image_generator, seed=0
+    )
+
+
+@pytest.fixture()
+def allocator(cascade1, deferral_profile, trained_discriminator):
+    """A fresh DiffServe allocator per test (its grid may be mutated)."""
+    return DiffServeAllocator(
+        cascade1.light,
+        cascade1.heavy,
+        deferral_profile,
+        discriminator_latency=trained_discriminator.latency_s,
+    )
+
+
+@pytest.fixture(scope="session")
+def light_images(coco_dataset, cascade1, image_generator):
+    """Light-model images for every prompt of the small dataset."""
+    return [
+        image_generator.generate(i, coco_dataset.difficulty(i), cascade1.light)
+        for i in range(len(coco_dataset))
+    ]
+
+
+@pytest.fixture(scope="session")
+def heavy_images(coco_dataset, cascade1, image_generator):
+    """Heavy-model images for every prompt of the small dataset."""
+    return [
+        image_generator.generate(i, coco_dataset.difficulty(i), cascade1.heavy)
+        for i in range(len(coco_dataset))
+    ]

@@ -1,0 +1,61 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro import cli
+from repro.experiments.harness import ExperimentScale
+
+
+def test_every_registered_experiment_has_description_and_runner():
+    assert set(cli.EXPERIMENTS) >= {"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "milp", "reuse"}
+    for name, (description, runner) in cli.EXPERIMENTS.items():
+        assert isinstance(description, str) and description
+        assert callable(runner)
+
+
+def test_list_command(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in cli.EXPERIMENTS:
+        assert name in out
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        cli.build_parser().parse_args(["fig42"])
+
+
+def test_scale_from_args_fast_and_custom():
+    args = cli.build_parser().parse_args(["fig5", "--fast", "--workers", "8", "--seed", "3"])
+    scale = cli.scale_from_args(args)
+    assert scale == ExperimentScale(dataset_size=300, trace_duration=180.0, num_workers=8, seed=3)
+    args = cli.build_parser().parse_args(
+        ["fig5", "--dataset-size", "500", "--duration", "90", "--workers", "4"]
+    )
+    scale = cli.scale_from_args(args)
+    assert scale.dataset_size == 500
+    assert scale.trace_duration == 90.0
+    assert scale.num_workers == 4
+
+
+def test_main_runs_a_cheap_experiment(capsys, monkeypatch):
+    calls = {}
+
+    def fake_runner(scale):
+        calls["scale"] = scale
+        return "ok"
+
+    monkeypatch.setitem(cli.EXPERIMENTS, "reuse", ("Reuse study", fake_runner))
+    assert cli.main(["reuse", "--fast"]) == 0
+    assert isinstance(calls["scale"], ExperimentScale)
+    assert "reuse" in capsys.readouterr().out
+
+
+def test_main_all_runs_every_runner(monkeypatch, capsys):
+    ran = []
+    for name in list(cli.EXPERIMENTS):
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, name, (f"{name} stub", lambda scale, n=name: ran.append(n))
+        )
+    assert cli.main(["all", "--fast"]) == 0
+    assert sorted(ran) == sorted(cli.EXPERIMENTS)

@@ -1,0 +1,190 @@
+"""Tests for classifiers, discriminator architectures and heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.discriminators.architectures import (
+    ARCHITECTURES,
+    ArchitectureSpec,
+    TrainedDiscriminator,
+    get_architecture,
+)
+from repro.discriminators.classifiers import LogisticClassifier, MLPClassifier
+from repro.discriminators.heuristics import (
+    ClipScoreDiscriminator,
+    OracleDiscriminator,
+    PickScoreDiscriminator,
+    RandomDiscriminator,
+)
+
+
+def _linearly_separable(n=400, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(float)
+    return X, y
+
+
+# ------------------------------------------------------------------ classifiers
+def test_logistic_learns_separable_data():
+    X, y = _linearly_separable()
+    clf = LogisticClassifier(epochs=400)
+    clf.fit(X, y)
+    assert clf.accuracy(X, y) > 0.95
+
+
+def test_logistic_probabilities_in_unit_interval():
+    X, y = _linearly_separable()
+    clf = LogisticClassifier().fit(X, y)
+    proba = clf.predict_proba(X)
+    assert proba.min() >= 0 and proba.max() <= 1
+
+
+def test_logistic_input_validation():
+    clf = LogisticClassifier()
+    with pytest.raises(ValueError):
+        clf.fit(np.zeros((5, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        clf.fit(np.zeros((5, 2)), np.array([0, 1, 2, 0, 1]))
+    with pytest.raises(RuntimeError):
+        clf.predict_proba(np.zeros((1, 2)))
+
+
+def test_mlp_learns_nonlinear_boundary():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(600, 2))
+    y = ((X[:, 0] ** 2 + X[:, 1] ** 2) < 1.0).astype(float)  # circular boundary
+    mlp = MLPClassifier(hidden_units=24, epochs=800, learning_rate=0.3, seed=0)
+    mlp.fit(X, y)
+    assert mlp.accuracy(X, y) > 0.85
+
+
+def test_mlp_beats_logistic_on_nonlinear_data():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(600, 2))
+    y = ((X[:, 0] ** 2 + X[:, 1] ** 2) < 1.0).astype(float)
+    logistic_acc = LogisticClassifier(epochs=400).fit(X, y).accuracy(X, y)
+    mlp_acc = MLPClassifier(hidden_units=24, epochs=800, learning_rate=0.3).fit(X, y).accuracy(X, y)
+    assert mlp_acc > logistic_acc
+
+
+def test_mlp_requires_fit_before_predict():
+    with pytest.raises(RuntimeError):
+        MLPClassifier().predict(np.zeros((1, 3)))
+
+
+# ---------------------------------------------------------------- architectures
+def test_architecture_registry_latencies_match_paper():
+    assert get_architecture("efficientnet").latency_s == pytest.approx(0.010)
+    assert get_architecture("resnet").latency_s == pytest.approx(0.002)
+    assert get_architecture("vit").latency_s == pytest.approx(0.005)
+
+
+def test_architecture_capacity_ordering():
+    # EfficientNet extracts the cleanest features, ResNet the noisiest.
+    assert (
+        ARCHITECTURES["efficientnet-v2"].observation_noise
+        < ARCHITECTURES["vit-b-16"].observation_noise
+        < ARCHITECTURES["resnet-34"].observation_noise
+    )
+
+
+def test_unknown_architecture_raises():
+    with pytest.raises(KeyError):
+        get_architecture("alexnet")
+
+
+def test_architecture_spec_validation():
+    with pytest.raises(ValueError):
+        ArchitectureSpec(name="x", latency_s=-1.0, observation_noise=0.1)
+    with pytest.raises(ValueError):
+        ArchitectureSpec(name="x", latency_s=0.1, observation_noise=-0.1)
+
+
+def test_trained_discriminator_confidence_correlates_with_quality(
+    trained_discriminator, light_images
+):
+    conf = trained_discriminator.confidence_batch(light_images)
+    quality = np.array([img.quality for img in light_images])
+    corr = np.corrcoef(conf, quality)[0, 1]
+    assert corr > 0.1
+    assert conf.min() >= 0 and conf.max() <= 1
+
+
+def test_trained_discriminator_confidence_is_deterministic(trained_discriminator, light_images):
+    a = trained_discriminator.confidence(light_images[0])
+    b = trained_discriminator.confidence(light_images[0])
+    assert a == b
+
+
+def test_trained_discriminator_batch_matches_single(trained_discriminator, light_images):
+    batch = trained_discriminator.confidence_batch(light_images[:5])
+    singles = [trained_discriminator.confidence(img) for img in light_images[:5]]
+    assert np.allclose(batch, singles)
+
+
+def test_calibration_spreads_confidence(trained_discriminator, light_images):
+    conf = trained_discriminator.confidence_batch(light_images)
+    # Saturating clipped calibration: some images pinned at 0 and 1, and the
+    # bulk spread in between (not collapsed at one end).
+    assert conf.max() == pytest.approx(1.0)
+    assert conf.min() == pytest.approx(0.0)
+    assert 0.3 < np.median(conf) < 0.7
+
+
+def test_calibration_requires_enough_images(trained_discriminator, light_images):
+    with pytest.raises(ValueError):
+        trained_discriminator.calibrate(light_images[:3])
+
+
+def test_accepts_threshold_semantics(trained_discriminator, light_images):
+    image = light_images[0]
+    conf = trained_discriminator.confidence(image)
+    assert trained_discriminator.accepts(image, threshold=min(conf, 1.0))
+    if conf < 1.0:
+        assert not trained_discriminator.accepts(image, threshold=min(conf + 1e-6, 1.0))
+    with pytest.raises(ValueError):
+        trained_discriminator.accepts(image, threshold=1.5)
+
+
+# ------------------------------------------------------------------- heuristics
+def test_random_discriminator_uniform_and_deterministic(light_images):
+    disc = RandomDiscriminator(seed=1)
+    conf = disc.confidence_batch(light_images)
+    assert conf.min() >= 0 and conf.max() <= 1
+    assert abs(conf.mean() - 0.5) < 0.1
+    assert np.allclose(conf, disc.confidence_batch(light_images))
+
+
+def test_oracle_discriminator_exposes_quality(light_images):
+    disc = OracleDiscriminator()
+    for img in light_images[:10]:
+        assert disc.confidence(img) == img.quality
+
+
+def test_pickscore_clipscore_confidences_bounded(light_images):
+    for disc in (PickScoreDiscriminator(), ClipScoreDiscriminator()):
+        conf = disc.confidence_batch(light_images[:100])
+        assert conf.min() >= 0 and conf.max() <= 1
+
+
+def test_metric_discriminators_worse_than_trained_at_routing(
+    trained_discriminator, light_images, heavy_images, coco_dataset
+):
+    """Figure 1a's core finding: at the same deferral budget, routing by the
+    trained discriminator yields a lower FID than routing by PickScore or
+    CLIPScore thresholds."""
+    from repro.metrics.fid import fid_from_images
+
+    def routed_fid(disc, fraction=0.5):
+        conf = disc.confidence_batch(light_images)
+        threshold = np.quantile(conf, fraction)
+        mixed = [
+            heavy_images[i] if conf[i] < threshold else light_images[i]
+            for i in range(len(light_images))
+        ]
+        return fid_from_images(mixed, coco_dataset.real_features)
+
+    trained_fid = routed_fid(trained_discriminator)
+    assert trained_fid < routed_fid(PickScoreDiscriminator()) + 0.2
+    assert trained_fid < routed_fid(ClipScoreDiscriminator()) + 0.2

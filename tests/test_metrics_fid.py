@@ -1,0 +1,100 @@
+"""Tests for the FID metric."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.fid import fid_from_images, fid_score, frechet_distance, windowed_fid
+from repro.models.generation import ImageGenerator
+from repro.models.zoo import get_variant
+
+
+def test_identical_distributions_give_near_zero_fid():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(2000, 8))
+    b = rng.normal(size=(2000, 8))
+    assert fid_score(a, b) < 0.2
+
+
+def test_fid_is_nonnegative_and_grows_with_mean_shift():
+    rng = np.random.default_rng(0)
+    base = rng.normal(size=(1000, 8))
+    small = base + 0.5
+    large = base + 2.0
+    f_small = fid_score(small, base)
+    f_large = fid_score(large, base)
+    assert 0 <= f_small < f_large
+    # Mean-shift contribution is ||shift||^2 = d * shift^2.
+    assert f_large == pytest.approx(8 * 4.0, rel=0.2)
+
+
+def test_fid_detects_covariance_mismatch():
+    rng = np.random.default_rng(0)
+    base = rng.normal(size=(3000, 8))
+    wide = 2.0 * rng.normal(size=(3000, 8))
+    assert fid_score(wide, base) > 1.0
+
+
+def test_fid_roughly_symmetric():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(1500, 6)) + 1.0
+    b = rng.normal(size=(1500, 6))
+    assert fid_score(a, b) == pytest.approx(fid_score(b, a), rel=0.05, abs=0.05)
+
+
+def test_frechet_distance_exact_for_known_gaussians():
+    mu1, mu2 = np.zeros(4), np.ones(4)
+    sigma = np.eye(4)
+    # Identical covariances: distance reduces to ||mu1 - mu2||^2 = 4.
+    assert frechet_distance(mu1, sigma, mu2, sigma) == pytest.approx(4.0, abs=1e-6)
+
+
+def test_frechet_distance_shape_mismatch():
+    with pytest.raises(ValueError):
+        frechet_distance(np.zeros(3), np.eye(3), np.zeros(4), np.eye(4))
+
+
+def test_fid_requires_two_samples():
+    with pytest.raises(ValueError):
+        fid_score(np.zeros((1, 4)), np.zeros((10, 4)))
+
+
+def test_heavy_model_has_lower_fid_than_light(coco_dataset, light_images, heavy_images):
+    light_fid = fid_from_images(light_images, coco_dataset.real_features)
+    heavy_fid = fid_from_images(heavy_images, coco_dataset.real_features)
+    assert heavy_fid < light_fid
+    # Both in the paper's ballpark for MS-COCO (FID roughly 15-27).
+    assert 12 < heavy_fid < 24
+    assert 15 < light_fid < 30
+
+
+def test_query_aware_mixture_beats_pure_heavy(coco_dataset, light_images, heavy_images,
+                                              trained_discriminator):
+    """The paper's surprising finding: routing easy queries to the light model
+    can yield a *lower* FID than serving everything with the heavy model."""
+    conf = trained_discriminator.confidence_batch(light_images)
+    threshold = np.quantile(conf, 0.6)
+    mixed = [
+        heavy_images[i] if conf[i] < threshold else light_images[i]
+        for i in range(len(light_images))
+    ]
+    mixed_fid = fid_from_images(mixed, coco_dataset.real_features)
+    heavy_fid = fid_from_images(heavy_images, coco_dataset.real_features)
+    assert mixed_fid < heavy_fid + 0.5
+
+
+def test_windowed_fid_shapes_and_nan_handling():
+    rng = np.random.default_rng(0)
+    real = rng.normal(size=(500, 4))
+    times = np.linspace(0, 100, 300)
+    feats = rng.normal(size=(300, 4))
+    centers, values = windowed_fid(times, feats, real, window=20.0, horizon=100.0)
+    assert len(centers) == len(values) == 5
+    assert np.isfinite(values).all()
+
+
+def test_windowed_fid_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        windowed_fid([0.0], rng.normal(size=(2, 4)), rng.normal(size=(5, 4)), 10.0, 100.0)
+    with pytest.raises(ValueError):
+        windowed_fid([0.0], rng.normal(size=(1, 4)), rng.normal(size=(5, 4)), 0.0, 100.0)

@@ -1,0 +1,111 @@
+"""Tests for SLO accounting and latency statistics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.latency import LatencyStats, percentile
+from repro.metrics.slo import SLOReport, SLOTracker, violation_ratio
+
+
+def test_tracker_counts_on_time_late_and_dropped():
+    tracker = SLOTracker(slo=5.0)
+    a = tracker.arrive(0.0)
+    b = tracker.arrive(1.0)
+    c = tracker.arrive(2.0)
+    assert tracker.complete(a, 3.0) is True
+    assert tracker.complete(b, 10.0) is False
+    tracker.drop(c)
+    report = tracker.report()
+    assert report.total == 3
+    assert report.completed == 2
+    assert report.violated == 1
+    assert report.dropped == 1
+    assert report.violation_ratio == pytest.approx(2 / 3)
+    assert report.goodput_ratio == pytest.approx(1 / 3)
+
+
+def test_tracker_per_query_slo_override():
+    tracker = SLOTracker(slo=5.0)
+    idx = tracker.arrive(0.0, slo=1.0)
+    assert tracker.complete(idx, 2.0) is False
+
+
+def test_tracker_window_report():
+    tracker = SLOTracker(slo=1.0)
+    early = tracker.arrive(0.0)
+    late = tracker.arrive(100.0)
+    tracker.complete(early, 0.5)
+    tracker.complete(late, 105.0)
+    report = tracker.report(window=(0.0, 50.0))
+    assert report.total == 1 and report.violated == 0
+
+
+def test_tracker_invalid_transitions():
+    tracker = SLOTracker(slo=1.0)
+    idx = tracker.arrive(0.0)
+    tracker.complete(idx, 0.5)
+    with pytest.raises(ValueError):
+        tracker.drop(idx)
+    other = tracker.arrive(0.0)
+    tracker.drop(other)
+    with pytest.raises(ValueError):
+        tracker.complete(other, 1.0)
+
+
+def test_tracker_timeseries_and_latencies():
+    tracker = SLOTracker(slo=1.0)
+    for t in range(10):
+        idx = tracker.arrive(float(t))
+        tracker.complete(idx, float(t) + (2.0 if t >= 5 else 0.5))
+    centers, ratios = tracker.timeseries(window=5.0, horizon=10.0)
+    assert len(centers) == len(ratios) == 2
+    assert ratios[0] == pytest.approx(0.0)
+    assert ratios[1] == pytest.approx(1.0)
+    assert len(tracker.latencies()) == 10
+
+
+def test_slo_report_validation():
+    with pytest.raises(ValueError):
+        SLOReport(total=1, completed=2, violated=0, dropped=0)
+    with pytest.raises(ValueError):
+        SLOReport(total=-1, completed=0, violated=0, dropped=0)
+    empty = SLOReport(total=0, completed=0, violated=0, dropped=0)
+    assert empty.violation_ratio == 0.0
+
+
+def test_violation_ratio_function():
+    assert violation_ratio([1.0, 2.0, 6.0], slo=5.0) == pytest.approx(1 / 3)
+    assert violation_ratio([1.0], slo=5.0, dropped=1) == pytest.approx(0.5)
+    assert violation_ratio([], slo=5.0) == 0.0
+    with pytest.raises(ValueError):
+        violation_ratio([1.0], slo=0.0)
+    with pytest.raises(ValueError):
+        violation_ratio([1.0], slo=1.0, dropped=-1)
+
+
+def test_tracker_invalid_slo():
+    with pytest.raises(ValueError):
+        SLOTracker(slo=0.0)
+
+
+def test_latency_stats_summary():
+    stats = LatencyStats.from_latencies(np.linspace(0.1, 1.0, 100))
+    assert stats.count == 100
+    assert stats.p50 < stats.p95 < stats.p99 <= stats.maximum
+    assert stats.mean == pytest.approx(0.55, abs=0.01)
+    assert "p95" in str(stats)
+
+
+def test_latency_stats_empty_and_invalid():
+    empty = LatencyStats.from_latencies([])
+    assert empty.count == 0 and np.isnan(empty.mean)
+    assert str(empty) == "LatencyStats(empty)"
+    with pytest.raises(ValueError):
+        LatencyStats.from_latencies([-1.0])
+
+
+def test_percentile_helper():
+    assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+    assert np.isnan(percentile([], 50))
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)

@@ -1,0 +1,150 @@
+"""Tests for the MILP toolkit (problem construction and both solvers)."""
+
+import numpy as np
+import pytest
+
+from repro.milp.branch_and_bound import BranchAndBoundSolver
+from repro.milp.exhaustive import ExhaustiveSolver
+from repro.milp.problem import MILPProblem, Sense, VarType, Variable
+from repro.milp.solution import SolveStatus
+
+
+def knapsack_problem():
+    """A tiny knapsack: maximise 10a + 6b + 4c s.t. 5a + 4b + 3c <= 8, binary."""
+    p = MILPProblem("knapsack")
+    for name in ("a", "b", "c"):
+        p.add_binary(name)
+    p.set_objective({"a": 10, "b": 6, "c": 4})
+    p.add_le({"a": 5, "b": 4, "c": 3}, 8)
+    return p
+
+
+def test_problem_construction_and_validation():
+    p = MILPProblem()
+    p.add_integer("x", lower=0, upper=5)
+    p.add_continuous("y", lower=0, upper=1)
+    with pytest.raises(ValueError):
+        p.add_integer("x")  # duplicate
+    with pytest.raises(KeyError):
+        p.add_le({"z": 1.0}, 1.0)  # unknown variable
+    with pytest.raises(KeyError):
+        p.set_objective({"z": 1.0})
+    with pytest.raises(ValueError):
+        Variable(name="bad", lower=2.0, upper=1.0)
+
+
+def test_is_feasible_checks_bounds_integrality_and_constraints():
+    p = MILPProblem()
+    p.add_integer("x", lower=0, upper=5)
+    p.add_le({"x": 1.0}, 3.0)
+    assert p.is_feasible({"x": 2.0})
+    assert not p.is_feasible({"x": 2.5})  # not integral
+    assert not p.is_feasible({"x": 4.0})  # violates constraint
+    assert not p.is_feasible({"x": -1.0})  # below bound
+    assert not p.is_feasible({})  # missing variable
+
+
+def test_objective_value():
+    p = knapsack_problem()
+    assert p.objective_value({"a": 1, "b": 0, "c": 1}) == pytest.approx(14.0)
+
+
+def test_branch_and_bound_solves_knapsack():
+    solution = BranchAndBoundSolver().solve(knapsack_problem())
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(14.0)
+    assert solution.get_int("a") == 1 and solution.get_int("c") == 1
+
+
+def test_exhaustive_solves_knapsack():
+    solution = ExhaustiveSolver().solve(knapsack_problem())
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(14.0)
+
+
+def test_mixed_integer_continuous_problem():
+    # maximise 3x + y with x integer <= 4.3 constraint region.
+    p = MILPProblem()
+    p.add_integer("x", lower=0, upper=10)
+    p.add_continuous("y", lower=0, upper=10)
+    p.set_objective({"x": 3, "y": 1})
+    p.add_le({"x": 1, "y": 1}, 6.5)
+    p.add_le({"x": 1}, 4.3)
+    for solver in (BranchAndBoundSolver(), ExhaustiveSolver()):
+        solution = solver.solve(p)
+        assert solution.is_optimal
+        assert solution.get_int("x") == 4
+        assert solution["y"] == pytest.approx(2.5, abs=1e-5)
+        assert solution.objective == pytest.approx(14.5, abs=1e-5)
+
+
+def test_infeasible_problem_detected():
+    p = MILPProblem()
+    p.add_integer("x", lower=0, upper=5)
+    p.set_objective({"x": 1})
+    p.add_ge({"x": 1}, 10)
+    for solver in (BranchAndBoundSolver(), ExhaustiveSolver()):
+        assert solver.solve(p).status == SolveStatus.INFEASIBLE
+
+
+def test_equality_constraints_respected():
+    p = MILPProblem()
+    p.add_integer("x", lower=0, upper=10)
+    p.add_integer("y", lower=0, upper=10)
+    p.set_objective({"x": 1, "y": 2})
+    p.add_eq({"x": 1, "y": 1}, 7)
+    solution = BranchAndBoundSolver().solve(p)
+    assert solution.is_optimal
+    assert solution.get_int("x") + solution.get_int("y") == 7
+    assert solution.get_int("y") == 7  # maximising prefers all-y
+
+
+def test_branch_and_bound_matches_exhaustive_on_random_problems():
+    rng = np.random.default_rng(42)
+    for trial in range(10):
+        p = MILPProblem(f"random-{trial}")
+        n = 4
+        for i in range(n):
+            p.add_integer(f"x{i}", lower=0, upper=4)
+        p.set_objective({f"x{i}": float(rng.uniform(0.5, 3)) for i in range(n)})
+        # Two random <= constraints keep the problem bounded and non-trivial.
+        for c in range(2):
+            coeffs = {f"x{i}": float(rng.uniform(0.5, 2)) for i in range(n)}
+            p.add_le(coeffs, float(rng.uniform(4, 10)))
+        bnb = BranchAndBoundSolver().solve(p)
+        exh = ExhaustiveSolver().solve(p)
+        assert bnb.is_optimal and exh.is_optimal
+        assert bnb.objective == pytest.approx(exh.objective, abs=1e-6)
+
+
+def test_exhaustive_rejects_unbounded_integer():
+    p = MILPProblem()
+    p.add_integer("x", lower=0, upper=None)
+    p.set_objective({"x": 1})
+    with pytest.raises(ValueError):
+        ExhaustiveSolver().solve(p)
+
+
+def test_exhaustive_respects_combination_limit():
+    p = MILPProblem()
+    for i in range(6):
+        p.add_integer(f"x{i}", lower=0, upper=9)
+    p.set_objective({"x0": 1})
+    with pytest.raises(ValueError):
+        ExhaustiveSolver(max_combinations=1000).solve(p)
+
+
+def test_binary_formulation_to_matrices_roundtrip():
+    p = knapsack_problem()
+    mats = p.to_matrices()
+    assert mats["A_ub"].shape == (1, 3)
+    assert len(mats["bounds"]) == 3
+    assert all(b == (0.0, 1.0) for b in mats["bounds"])
+    # Objective is negated for minimisation.
+    assert mats["c"][mats["order"].index("a")] == pytest.approx(-10.0)
+
+
+def test_solution_solve_time_recorded():
+    solution = BranchAndBoundSolver().solve(knapsack_problem())
+    assert solution.solve_time_s > 0
+    assert solution.nodes_explored >= 1

@@ -1,0 +1,200 @@
+"""Tests for difficulty model, image generation and dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.models.dataset import QueryDataset, load_dataset, make_coco_like, make_diffusiondb_like
+from repro.models.difficulty import COCO_DIFFICULTY, DifficultyModel
+from repro.models.generation import FEATURE_DIM, GeneratedImage, ImageGenerator
+from repro.models.scores import clip_score, pick_score, pick_score_difference
+from repro.models.zoo import get_variant
+
+
+# ----------------------------------------------------------------- difficulty
+def test_difficulty_samples_in_unit_interval():
+    rng = np.random.default_rng(0)
+    samples = COCO_DIFFICULTY.sample(1000, rng)
+    assert samples.min() >= 0 and samples.max() <= 1
+    assert samples.mean() == pytest.approx(COCO_DIFFICULTY.mean, abs=0.05)
+
+
+def test_difficulty_quantile_monotone():
+    model = DifficultyModel()
+    assert model.quantile(0.2) < model.quantile(0.5) < model.quantile(0.9)
+
+
+def test_difficulty_invalid_params():
+    with pytest.raises(ValueError):
+        DifficultyModel(alpha=0.0)
+    with pytest.raises(ValueError):
+        COCO_DIFFICULTY.sample(-1, np.random.default_rng(0))
+
+
+# ----------------------------------------------------------------- generation
+def test_generation_is_deterministic_per_query_and_variant():
+    gen = ImageGenerator(seed=1)
+    light = get_variant("sd-turbo")
+    a = gen.generate(5, 0.4, light)
+    b = gen.generate(5, 0.4, light)
+    assert a.quality == b.quality
+    assert np.allclose(a.features, b.features)
+
+
+def test_generation_differs_across_queries_and_variants():
+    gen = ImageGenerator(seed=1)
+    light, heavy = get_variant("sd-turbo"), get_variant("sd-v1.5")
+    a = gen.generate(5, 0.4, light)
+    b = gen.generate(6, 0.4, light)
+    c = gen.generate(5, 0.4, heavy)
+    assert not np.allclose(a.features, b.features)
+    assert not np.allclose(a.features, c.features)
+
+
+def test_quality_decreases_with_difficulty_on_average():
+    gen = ImageGenerator(seed=0)
+    light = get_variant("sd-turbo")
+    easy = [gen.generate(i, 0.1, light).quality for i in range(200)]
+    hard = [gen.generate(i + 1000, 0.9, light).quality for i in range(200)]
+    assert np.mean(easy) > np.mean(hard) + 0.1
+
+
+def test_heavy_model_more_robust_to_difficulty():
+    gen = ImageGenerator(seed=0)
+    light, heavy = get_variant("sd-turbo"), get_variant("sd-v1.5")
+    hard_light = np.mean([gen.generate(i, 0.9, light).quality for i in range(200)])
+    hard_heavy = np.mean([gen.generate(i, 0.9, heavy).quality for i in range(200)])
+    assert hard_heavy > hard_light
+
+
+def test_easy_query_fraction_in_paper_range():
+    """20-40% of queries should be 'easy' (light quality >= heavy quality)."""
+    gen = ImageGenerator(seed=0)
+    dataset = make_coco_like(1500, seed=0)
+    light, heavy = get_variant("sd-turbo"), get_variant("sd-v1.5")
+    lq = np.array([gen.generate(i, dataset.difficulty(i), light).quality for i in range(1500)])
+    hq = np.array([gen.generate(i, dataset.difficulty(i), heavy).quality for i in range(1500)])
+    easy = float(np.mean(lq >= hq))
+    assert 0.10 <= easy <= 0.45
+
+
+def test_generated_image_validation():
+    with pytest.raises(ValueError):
+        GeneratedImage(query_id=0, variant_name="x", quality=1.5, features=np.zeros(4))
+    with pytest.raises(ValueError):
+        GeneratedImage(query_id=0, variant_name="x", quality=0.5, features=np.zeros((2, 2)))
+
+
+def test_reuse_penalty_lowers_quality():
+    gen = ImageGenerator(seed=0)
+    light, heavy = get_variant("sdxs"), get_variant("sd-v1.5")
+    base = gen.generate(3, 0.5, heavy)
+    reused = gen.generate(3, 0.5, heavy, reuse_from=gen.generate(3, 0.5, light), reuse_penalty=0.1)
+    assert reused.quality <= base.quality
+
+
+def test_generate_batch_and_real_features():
+    gen = ImageGenerator(seed=0)
+    light = get_variant("sd-turbo")
+    batch = gen.generate_batch([1, 2, 3], [0.2, 0.5, 0.8], light)
+    assert len(batch) == 3
+    real = gen.sample_real_features(50, np.random.default_rng(0))
+    assert real.shape == (50, FEATURE_DIM)
+    with pytest.raises(ValueError):
+        gen.generate_batch([1, 2], [0.5], light)
+
+
+def test_invalid_difficulty_rejected():
+    gen = ImageGenerator(seed=0)
+    with pytest.raises(ValueError):
+        gen.generate(0, 1.5, get_variant("sd-turbo"))
+
+
+# --------------------------------------------------------------------- scores
+def test_pick_score_difference_cancels_prompt_offset(light_images, heavy_images):
+    # Differences for the same prompt should correlate with quality difference.
+    diffs = [pick_score_difference(l, h) for l, h in zip(light_images[:200], heavy_images[:200])]
+    quality_diffs = [
+        l.quality - h.quality for l, h in zip(light_images[:200], heavy_images[:200])
+    ]
+    corr = np.corrcoef(diffs, quality_diffs)[0, 1]
+    assert corr > 0.5
+
+
+def test_pick_score_raw_values_dominated_by_prompt_offset(light_images):
+    # Across prompts, the quality signal is drowned by the per-prompt offset.
+    scores = np.array([pick_score(img) for img in light_images])
+    qualities = np.array([img.quality for img in light_images])
+    corr = abs(np.corrcoef(scores, qualities)[0, 1])
+    assert corr < 0.5
+
+
+def test_pick_score_difference_requires_same_prompt(light_images, heavy_images):
+    with pytest.raises(ValueError):
+        pick_score_difference(light_images[0], heavy_images[1])
+
+
+def test_clip_score_weakly_informative(light_images):
+    scores = np.array([clip_score(img) for img in light_images])
+    assert scores.std() < 0.2  # variants' CLIP scores are close together
+
+
+# -------------------------------------------------------------------- dataset
+def test_coco_dataset_shapes():
+    ds = make_coco_like(200, seed=1)
+    assert len(ds) == 200
+    assert ds.real_features.shape == (200, FEATURE_DIM)
+    assert ds.resolution == 512
+    assert all(0 <= d <= 1 for d in ds.difficulties)
+
+
+def test_diffusiondb_dataset_is_higher_resolution_and_harder():
+    coco = make_coco_like(2000, seed=0)
+    ddb = make_diffusiondb_like(2000, seed=0)
+    assert ddb.resolution == 1024
+    assert ddb.difficulties.mean() > coco.difficulties.mean()
+
+
+def test_dataset_indexing_wraps_around():
+    ds = make_coco_like(100, seed=0)
+    assert ds.prompt(105) == ds.prompt(5)
+    assert ds.difficulty(105) == ds.difficulty(5)
+
+
+def test_dataset_subset():
+    ds = make_coco_like(100, seed=0)
+    sub = ds.subset(10)
+    assert len(sub) == 10
+    assert sub.prompts[0] == ds.prompts[0]
+    with pytest.raises(ValueError):
+        ds.subset(0)
+
+
+def test_load_dataset_by_name():
+    assert load_dataset("coco", n=60).name == "coco"
+    assert load_dataset("diffusiondb", n=60).name == "diffusiondb"
+    with pytest.raises(KeyError):
+        load_dataset("imagenet")
+
+
+def test_dataset_validation():
+    with pytest.raises(ValueError):
+        QueryDataset(
+            name="bad",
+            prompts=["a", "b"],
+            difficulties=np.array([0.5]),
+            real_features=np.zeros((2, 4)),
+        )
+    with pytest.raises(ValueError):
+        QueryDataset(
+            name="bad",
+            prompts=["a"],
+            difficulties=np.array([1.5]),
+            real_features=np.zeros((1, 4)),
+        )
+
+
+def test_prompts_get_longer_with_difficulty():
+    ds = make_coco_like(2000, seed=0)
+    lengths = np.array([len(p) for p in ds.prompts])
+    corr = np.corrcoef(lengths, ds.difficulties)[0, 1]
+    assert corr > 0.2

@@ -1,0 +1,111 @@
+"""Tests for model variants, quality models and the zoo/cascade registry."""
+
+import pytest
+
+from repro.models.profiles import LatencyProfile
+from repro.models.variants import ModelVariant, QualityModel
+from repro.models.zoo import CASCADES, MODEL_ZOO, CascadeSpec, get_cascade, get_variant
+
+
+def test_zoo_contains_paper_variants():
+    for name in ("sd-turbo", "sdxs", "sd-v1.5", "sdxl-lightning", "sdxl"):
+        assert name in MODEL_ZOO
+
+
+def test_paper_latencies_match_section_4_1():
+    # Per-image latencies reported in the paper (batch size 1), within 20%.
+    assert get_variant("sd-turbo").execution_latency(1) == pytest.approx(0.1, rel=0.3)
+    assert get_variant("sdxs").execution_latency(1) == pytest.approx(0.05, rel=0.3)
+    assert get_variant("sd-v1.5").execution_latency(1) == pytest.approx(1.78, rel=0.1)
+    assert get_variant("sdxl-lightning").execution_latency(1) == pytest.approx(0.5, rel=0.1)
+    assert get_variant("sdxl").execution_latency(1) == pytest.approx(6.0, rel=0.1)
+
+
+def test_cascades_match_paper_configuration():
+    c1 = get_cascade("sdturbo")
+    assert c1.light.name == "sd-turbo" and c1.heavy.name == "sd-v1.5" and c1.slo == 5.0
+    c2 = get_cascade("sdxs")
+    assert c2.light.name == "sdxs" and c2.heavy.name == "sd-v1.5"
+    c3 = get_cascade("sdxlltn")
+    assert c3.light.name == "sdxl-lightning" and c3.heavy.name == "sdxl" and c3.slo == 15.0
+    assert c3.dataset == "diffusiondb"
+
+
+def test_cascade_aliases():
+    assert get_cascade("cascade1") is CASCADES["sdturbo"]
+    assert get_cascade("Cascade-2") is CASCADES["sdxs"]
+    assert get_cascade("cascade_3") is CASCADES["sdxlltn"]
+
+
+def test_unknown_variant_and_cascade_raise():
+    with pytest.raises(KeyError):
+        get_variant("nonexistent")
+    with pytest.raises(KeyError):
+        get_cascade("nonexistent")
+
+
+def test_light_models_are_faster_but_lower_quality():
+    for cascade in CASCADES.values():
+        assert cascade.light.execution_latency(1) < cascade.heavy.execution_latency(1)
+        assert cascade.light.quality.base_quality <= cascade.heavy.quality.base_quality
+        assert (
+            cascade.light.quality.difficulty_sensitivity
+            > cascade.heavy.quality.difficulty_sensitivity
+        )
+
+
+def test_quality_model_mean_quality_decreases_with_difficulty():
+    qm = QualityModel(base_quality=0.9, difficulty_sensitivity=0.4)
+    assert qm.mean_quality(0.0) > qm.mean_quality(0.5) > qm.mean_quality(1.0)
+
+
+def test_quality_model_validation():
+    with pytest.raises(ValueError):
+        QualityModel(base_quality=0.0, difficulty_sensitivity=0.1)
+    with pytest.raises(ValueError):
+        QualityModel(base_quality=0.9, difficulty_sensitivity=-0.1)
+    with pytest.raises(ValueError):
+        QualityModel(base_quality=0.9, difficulty_sensitivity=0.1, diversity=0.0)
+
+
+def test_variant_with_steps_scales_latency():
+    heavy = get_variant("sd-v1.5")
+    faster = heavy.with_steps(25)
+    assert faster.steps == 25
+    assert faster.execution_latency(1) == pytest.approx(heavy.execution_latency(1) / 2, rel=0.1)
+    assert faster.name != heavy.name
+
+
+def test_variant_validation():
+    with pytest.raises(ValueError):
+        ModelVariant(
+            name="bad",
+            display_name="bad",
+            steps=0,
+            resolution=512,
+            latency=LatencyProfile(per_image=1.0),
+            quality=QualityModel(base_quality=0.9, difficulty_sensitivity=0.1),
+        )
+    with pytest.raises(ValueError):
+        ModelVariant(
+            name="bad",
+            display_name="bad",
+            steps=1,
+            resolution=300,
+            latency=LatencyProfile(per_image=1.0),
+            quality=QualityModel(base_quality=0.9, difficulty_sensitivity=0.1),
+        )
+
+
+def test_cascade_spec_rejects_slow_light_model():
+    heavy = get_variant("sd-v1.5")
+    light = get_variant("sd-turbo")
+    with pytest.raises(ValueError):
+        CascadeSpec(name="bad", light=heavy, heavy=light, slo=5.0)
+    with pytest.raises(ValueError):
+        CascadeSpec(name="bad", light=light, heavy=heavy, slo=0.0)
+
+
+def test_cascade_variants_property():
+    c1 = get_cascade("sdturbo")
+    assert c1.variants == (c1.light, c1.heavy)

@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.demand import DemandEstimator
+from repro.core.queueing import LittlesLawModel
+from repro.discriminators.deferral import DeferralProfile
+from repro.metrics.fid import fid_score, frechet_distance
+from repro.metrics.pareto import ParetoPoint, is_pareto_dominated, pareto_frontier
+from repro.metrics.slo import violation_ratio
+from repro.milp.branch_and_bound import BranchAndBoundSolver
+from repro.milp.exhaustive import ExhaustiveSolver
+from repro.milp.problem import MILPProblem
+from repro.models.profiles import LatencyProfile
+from repro.simulator.events import EventQueue
+
+# Hypothesis settings: keep runtimes modest, silence fixture-scope warnings.
+_SETTINGS = dict(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------- event queue
+@given(times=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(**_SETTINGS)
+def test_event_queue_pops_in_nondecreasing_time_order(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while q:
+        popped.append(q.pop().time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+@given(
+    times=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=30),
+    cancel_idx=st.integers(min_value=0, max_value=29),
+)
+@settings(**_SETTINGS)
+def test_event_queue_cancellation_preserves_rest(times, cancel_idx):
+    q = EventQueue()
+    events = [q.push(t, lambda: None) for t in times]
+    victim = events[cancel_idx % len(events)]
+    q.cancel(victim)
+    popped = []
+    while q:
+        popped.append(q.pop())
+    assert victim not in popped
+    assert len(popped) == len(times) - 1
+
+
+# -------------------------------------------------------------------- latency
+@given(
+    per_image=st.floats(min_value=0.01, max_value=10.0),
+    gain=st.floats(min_value=0.0, max_value=0.9),
+    b=st.sampled_from([1, 2, 4, 8, 16]),
+)
+@settings(**_SETTINGS)
+def test_latency_profile_invariants(per_image, gain, b):
+    profile = LatencyProfile(per_image=per_image, batching_gain=gain)
+    assert profile.latency(b) > 0
+    assert profile.throughput(b) > 0
+    if b > 1:
+        # Throughput never decreases with batch size; per-batch latency never decreases.
+        assert profile.throughput(b) >= profile.throughput(b // 2) - 1e-12
+        assert profile.latency(b) >= profile.latency(b // 2) - 1e-12
+
+
+# ------------------------------------------------------------------------- FID
+@given(
+    shift=st.floats(min_value=0.0, max_value=3.0),
+    dim=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(**_SETTINGS)
+def test_fid_nonnegative_and_monotone_in_mean_shift(shift, dim, seed):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(300, dim))
+    shifted = base + shift
+    fid_same = fid_score(base, base)
+    fid_shifted = fid_score(shifted, base)
+    assert fid_same == pytest.approx(0.0, abs=1e-6)
+    assert fid_shifted >= -1e-9
+    assert fid_shifted >= fid_same - 1e-9
+
+
+@given(
+    mu=st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=6),
+    scale=st.floats(min_value=0.1, max_value=3.0),
+)
+@settings(**_SETTINGS)
+def test_frechet_distance_identity_and_symmetry(mu, scale):
+    mu = np.array(mu)
+    sigma = scale * np.eye(len(mu))
+    assert frechet_distance(mu, sigma, mu, sigma) == pytest.approx(0.0, abs=1e-8)
+    other = np.zeros(len(mu))
+    d_ab = frechet_distance(mu, sigma, other, np.eye(len(mu)))
+    d_ba = frechet_distance(other, np.eye(len(mu)), mu, sigma)
+    assert d_ab == pytest.approx(d_ba, rel=1e-6, abs=1e-8)
+
+
+# ---------------------------------------------------------------------- pareto
+@given(
+    points=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100), st.floats(min_value=0, max_value=100)
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(**_SETTINGS)
+def test_pareto_frontier_is_nondominated_and_subset(points):
+    pts = [ParetoPoint(x, y) for x, y in points]
+    frontier = pareto_frontier(pts)
+    assert 1 <= len(frontier) <= len(pts)
+    for p in frontier:
+        assert not is_pareto_dominated(p, pts)
+    # Every non-frontier point with unique coordinates is dominated.
+    frontier_coords = {(p.x, p.y) for p in frontier}
+    for p in pts:
+        if (p.x, p.y) not in frontier_coords:
+            assert is_pareto_dominated(p, pts)
+
+
+# -------------------------------------------------------------------- deferral
+@given(
+    confidences=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=5, max_size=200),
+    thresholds=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=10),
+)
+@settings(**_SETTINGS)
+def test_deferral_fraction_monotone_in_threshold(confidences, thresholds):
+    profile = DeferralProfile(confidences=np.array(confidences))
+    ts = sorted(thresholds)
+    fractions = [profile.fraction(t) for t in ts]
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    assert all(b >= a - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+
+@given(
+    confidences=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=10, max_size=200),
+    target=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(**_SETTINGS)
+def test_deferral_inverse_never_exceeds_target(confidences, target):
+    profile = DeferralProfile(confidences=np.array(confidences))
+    threshold = profile.threshold_for_fraction(target)
+    assert 0.0 <= threshold <= 1.0
+    assert profile.fraction(threshold) <= target + 1.0 / len(confidences) + 1e-9
+
+
+# ----------------------------------------------------------------------- demand
+@given(
+    rates=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50),
+    alpha=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(**_SETTINGS)
+def test_demand_estimate_stays_within_observed_range(rates, alpha):
+    est = DemandEstimator(alpha=alpha)
+    for arrivals in rates:
+        est.observe(arrivals, 10.0)
+    observed = [r / 10.0 for r in rates]
+    assert min(observed) - 1e-9 <= est.estimate <= max(observed) + 1e-9
+
+
+# --------------------------------------------------------------------- queueing
+@given(
+    queue=st.floats(min_value=0, max_value=1e4),
+    rate=st.floats(min_value=0.01, max_value=100.0),
+    execution=st.floats(min_value=0.0, max_value=60.0),
+)
+@settings(**_SETTINGS)
+def test_littles_law_nonnegative_and_monotone_in_queue(queue, rate, execution):
+    model = LittlesLawModel()
+    wait = model.waiting_time(queue, rate, execution)
+    assert wait >= 0
+    assert model.waiting_time(queue * 2, rate, execution) >= wait - 1e-9
+
+
+# ------------------------------------------------------------------------- SLO
+@given(
+    latencies=st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=100),
+    slo=st.floats(min_value=0.1, max_value=50.0),
+    dropped=st.integers(min_value=0, max_value=20),
+)
+@settings(**_SETTINGS)
+def test_violation_ratio_bounded(latencies, slo, dropped):
+    ratio = violation_ratio(latencies, slo, dropped)
+    assert 0.0 <= ratio <= 1.0
+
+
+# ------------------------------------------------------------------------ MILP
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_branch_and_bound_matches_exhaustive_on_random_milps(seed):
+    rng = np.random.default_rng(seed)
+    problem = MILPProblem("prop")
+    n = int(rng.integers(2, 4))
+    for i in range(n):
+        problem.add_integer(f"x{i}", lower=0, upper=int(rng.integers(2, 5)))
+    problem.set_objective({f"x{i}": float(rng.uniform(0.1, 2.0)) for i in range(n)})
+    problem.add_le(
+        {f"x{i}": float(rng.uniform(0.2, 1.5)) for i in range(n)}, float(rng.uniform(2, 8))
+    )
+    bnb = BranchAndBoundSolver().solve(problem)
+    exh = ExhaustiveSolver().solve(problem)
+    assert bnb.is_optimal == exh.is_optimal
+    if bnb.is_optimal:
+        assert bnb.objective == pytest.approx(exh.objective, abs=1e-6)

@@ -1,0 +1,99 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.simulator.events import Event, EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(2.0, lambda: fired.append("b"))
+    q.push(1.0, lambda: fired.append("a"))
+    q.push(3.0, lambda: fired.append("c"))
+    while q:
+        q.pop().fire()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_broken_by_priority_then_insertion_order():
+    q = EventQueue()
+    fired = []
+    q.push(1.0, lambda: fired.append("second"), priority=1)
+    q.push(1.0, lambda: fired.append("first"), priority=0)
+    q.push(1.0, lambda: fired.append("third"), priority=1)
+    while q:
+        q.pop().fire()
+    assert fired == ["first", "second", "third"]
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    q.cancel(e1)
+    assert len(q) == 1
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    fired = []
+    e = q.push(1.0, lambda: fired.append("cancelled"))
+    q.push(2.0, lambda: fired.append("kept"))
+    q.cancel(e)
+    while q:
+        q.pop().fire()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.cancel(e)
+    q.cancel(e)
+    assert len(q) == 0
+
+
+def test_pop_empty_raises():
+    q = EventQueue()
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    q.cancel(e)
+    assert q.peek_time() == 5.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(-1.0, lambda: None)
+
+
+def test_clear_removes_everything():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.peek_time() is None
+
+
+def test_event_fire_returns_callback_value():
+    event = Event(time=1.0, seq=0, callback=lambda: 42)
+    assert event.fire() == 42
+
+
+def test_cancelled_event_fire_is_noop():
+    event = Event(time=1.0, seq=0, callback=lambda: 42)
+    event.cancel()
+    assert event.fire() is None

@@ -1,0 +1,115 @@
+"""Tests for the simulation driver and actors."""
+
+import pytest
+
+from repro.simulator.simulation import Actor, Simulator
+
+
+class Ticker(Actor):
+    """Schedules itself every `period` seconds and counts ticks."""
+
+    def __init__(self, sim, period):
+        super().__init__(sim, name="ticker")
+        self.period = period
+        self.ticks = 0
+        self.started = False
+        self.finished = False
+
+    def start(self):
+        self.started = True
+        self.sim.schedule(self.period, self._tick)
+
+    def _tick(self):
+        self.ticks += 1
+        self.sim.schedule(self.period, self._tick)
+
+    def finish(self):
+        self.finished = True
+
+
+def test_run_until_advances_clock_and_fires_events():
+    sim = Simulator(seed=0)
+    ticker = Ticker(sim, period=1.0)
+    end = sim.run(until=10.5)
+    assert end == pytest.approx(10.5)
+    assert ticker.ticks == 10
+    assert ticker.started and ticker.finished
+
+
+def test_events_fire_in_order_and_now_is_monotone():
+    sim = Simulator(seed=0)
+    seen = []
+    sim.schedule(3.0, lambda: seen.append(sim.now))
+    sim.schedule(1.0, lambda: seen.append(sim.now))
+    sim.schedule(2.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_schedule_at_rejects_past():
+    sim = Simulator(seed=0)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator(seed=0)
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_stop_halts_run():
+    sim = Simulator(seed=0)
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run(until=10)
+    assert fired == [1]
+
+
+def test_max_events_limits_processing():
+    sim = Simulator(seed=0)
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1.0, lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert len(fired) == 3
+
+
+def test_cancel_scheduled_event():
+    sim = Simulator(seed=0)
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_run_without_events_respects_until():
+    sim = Simulator(seed=0)
+    end = sim.run(until=42.0)
+    assert end == pytest.approx(42.0)
+
+
+def test_events_fired_counter():
+    sim = Simulator(seed=0)
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_fired == 5
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator(seed=0)
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(0.5, lambda: order.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.schedule(2.0, lambda: order.append("later"))
+    sim.run()
+    assert order == ["outer", "inner", "later"]

@@ -1,0 +1,111 @@
+"""Tests for workload traces."""
+
+import numpy as np
+import pytest
+
+from repro.traces.azure import azure_functions_like_rate, trace_1to8qps, trace_4to32qps
+from repro.traces.base import ArrivalTrace, RateCurve
+from repro.traces.synthetic import burst_rate, diurnal_rate, static_rate, step_rate
+
+
+def test_rate_curve_interpolation_and_bounds():
+    curve = RateCurve(times=np.array([0.0, 10.0]), rates=np.array([2.0, 4.0]))
+    assert curve.rate_at(0.0) == pytest.approx(2.0)
+    assert curve.rate_at(5.0) == pytest.approx(3.0)
+    assert curve.rate_at(100.0) == pytest.approx(4.0)  # clamped
+    assert curve.peak == 4.0 and curve.minimum == 2.0
+    assert curve.mean_rate() == pytest.approx(3.0)
+
+
+def test_rate_curve_validation():
+    with pytest.raises(ValueError):
+        RateCurve(times=np.array([0.0, 1.0]), rates=np.array([1.0]))
+    with pytest.raises(ValueError):
+        RateCurve(times=np.array([1.0, 0.0]), rates=np.array([1.0, 1.0]))
+    with pytest.raises(ValueError):
+        RateCurve(times=np.array([0.0, 1.0]), rates=np.array([1.0, -1.0]))
+
+
+def test_scaled_preserves_shape():
+    curve = diurnal_rate(1.0, 10.0, duration=100.0)
+    scaled = curve.scaled(4.0, 32.0)
+    assert scaled.minimum == pytest.approx(4.0, abs=1e-6)
+    assert scaled.peak == pytest.approx(32.0, abs=1e-6)
+    # Shape preservation: peaks occur at the same time.
+    assert np.argmax(scaled.rates) == np.argmax(curve.rates)
+    with pytest.raises(ValueError):
+        curve.scaled(10.0, 5.0)
+
+
+def test_static_step_burst_rates():
+    static = static_rate(5.0, 100.0)
+    assert static.rate_at(50.0) == 5.0
+    step = step_rate(2.0, 10.0, duration=100.0, step_at=50.0)
+    assert step.rate_at(10.0) == pytest.approx(2.0)
+    assert step.rate_at(90.0) == pytest.approx(10.0)
+    burst = burst_rate(2.0, 20.0, duration=100.0, burst_start=40.0, burst_length=10.0)
+    assert burst.rate_at(45.0) == pytest.approx(20.0)
+    assert burst.rate_at(5.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        static_rate(-1.0, 10.0)
+    with pytest.raises(ValueError):
+        step_rate(1.0, 2.0, duration=10.0, step_at=20.0)
+    with pytest.raises(ValueError):
+        burst_rate(1.0, 2.0, duration=10.0, burst_start=8.0, burst_length=5.0)
+
+
+def test_azure_like_trace_range_and_determinism():
+    curve = azure_functions_like_rate(4, 32, duration=360, seed=1)
+    assert curve.minimum == pytest.approx(4.0, abs=1e-6)
+    assert curve.peak == pytest.approx(32.0, abs=1e-6)
+    again = azure_functions_like_rate(4, 32, duration=360, seed=1)
+    assert np.allclose(curve.rates, again.rates)
+    different = azure_functions_like_rate(4, 32, duration=360, seed=2)
+    assert not np.allclose(curve.rates, different.rates)
+    with pytest.raises(ValueError):
+        azure_functions_like_rate(10, 5)
+
+
+def test_named_paper_traces():
+    assert trace_4to32qps().peak == pytest.approx(32.0, abs=1e-6)
+    assert trace_1to8qps().minimum == pytest.approx(1.0, abs=1e-6)
+
+
+def test_arrival_trace_sampling_matches_rate():
+    curve = static_rate(20.0, 200.0)
+    trace = ArrivalTrace.from_rate_curve(curve, np.random.default_rng(0))
+    # Poisson process: expect ~4000 arrivals within 10%.
+    assert len(trace) == pytest.approx(4000, rel=0.1)
+    assert trace.duration <= 200.0
+    assert np.all(np.diff(trace.arrival_times) >= 0)
+
+
+def test_arrival_trace_nonhomogeneous_follows_curve():
+    curve = step_rate(2.0, 20.0, duration=200.0, step_at=100.0)
+    trace = ArrivalTrace.from_rate_curve(curve, np.random.default_rng(0))
+    first_half = np.sum(trace.arrival_times < 100.0)
+    second_half = np.sum(trace.arrival_times >= 100.0)
+    assert second_half > 5 * first_half
+
+
+def test_arrival_trace_constant_rate_and_observed_rate():
+    trace = ArrivalTrace.constant_rate(10.0, 100.0, np.random.default_rng(0))
+    rates = trace.observed_rate(window=10.0)
+    assert rates.mean() == pytest.approx(10.0, rel=0.15)
+    with pytest.raises(ValueError):
+        trace.observed_rate(0.0)
+
+
+def test_arrival_trace_max_queries_cap():
+    curve = static_rate(50.0, 1000.0)
+    trace = ArrivalTrace.from_rate_curve(curve, np.random.default_rng(0), max_queries=100)
+    assert len(trace) == 100
+
+
+def test_arrival_trace_validation():
+    with pytest.raises(ValueError):
+        ArrivalTrace(arrival_times=np.array([2.0, 1.0]))
+    with pytest.raises(ValueError):
+        ArrivalTrace(arrival_times=np.array([-1.0, 1.0]))
+    empty = ArrivalTrace(arrival_times=np.array([]))
+    assert len(empty) == 0 and empty.duration == 0.0
