@@ -6,7 +6,6 @@ is dramatically lower than Clipper-Heavy's and no worse than the other
 quality-preserving baselines (within a small tolerance at reduced scale).
 """
 
-import pytest
 
 from repro.experiments.fig6_cascades import run_fig6
 

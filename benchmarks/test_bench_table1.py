@@ -42,8 +42,12 @@ def test_bench_table1_query_awareness_is_behavioural(bench_scale):
     )
 
     def difficulty_gap(result):
-        heavy = [r.query.difficulty for r in result.completed_records if r.stage == QueryStage.HEAVY]
-        light = [r.query.difficulty for r in result.completed_records if r.stage == QueryStage.LIGHT]
+        heavy = [
+            r.query.difficulty for r in result.completed_records if r.stage == QueryStage.HEAVY
+        ]
+        light = [
+            r.query.difficulty for r in result.completed_records if r.stage == QueryStage.LIGHT
+        ]
         if not heavy or not light:
             return 0.0
         return float(np.mean(heavy) - np.mean(light))

@@ -3,6 +3,27 @@
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_artifact_cache(tmp_path_factory):
+    """Point the runner's artifact cache at a per-session temporary directory.
+
+    Keeps test runs hermetic: nothing is read from or written to the user's
+    ``~/.cache/repro``.  A caller that *wants* cache reuse across processes
+    (the CI bench job, which downloads the cache artifact produced by the
+    tests job) pins ``REPRO_CACHE_DIR`` explicitly, which takes precedence.
+    """
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)

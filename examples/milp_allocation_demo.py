@@ -46,7 +46,10 @@ def main() -> None:
             ]
         )
     print(format_table(
-        ["demand", "light workers", "heavy workers", "b1", "b2", "threshold", "deferral", "solve time"],
+        [
+            "demand", "light workers", "heavy workers", "b1", "b2",
+            "threshold", "deferral", "solve time",
+        ],
         rows,
     ))
     print(f"\nMean allocation solve time: {allocator.mean_solve_time_s * 1e3:.1f} ms")

@@ -17,10 +17,9 @@ from repro.core.allocator import AllocationPlan, ControlContext
 from repro.core.config import RoutingMode, SystemConfig
 from repro.core.policies import AllocationPolicy
 from repro.core.system import ServingSimulation
-from repro.discriminators.base import Discriminator
 from repro.models.dataset import QueryDataset, load_dataset
 from repro.models.variants import ModelVariant
-from repro.models.zoo import CascadeSpec, get_cascade
+from repro.models.zoo import get_cascade
 
 
 def _largest_safe_batch(

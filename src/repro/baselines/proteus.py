@@ -62,7 +62,9 @@ class ProteusPolicy(AllocationPolicy):
         if over_provision < 1.0:
             raise ValueError("over_provision must be >= 1.0")
         self.cascade = cascade
-        self.candidates = list(candidates) if candidates is not None else default_variant_family(cascade)
+        self.candidates = (
+            list(candidates) if candidates is not None else default_variant_family(cascade)
+        )
         self.batch_candidates = tuple(batch_candidates)
         self.over_provision = over_provision
         self.queueing_multiplier = queueing_multiplier

@@ -9,7 +9,6 @@ practice of provisioning for maximum anticipated demand.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional
 
 from repro.core.allocator import AllocationPlan, ControlContext, DiffServeAllocator
@@ -67,7 +66,9 @@ def build_diffserve_static_system(
     if dataset is None:
         dataset = load_dataset(cascade.dataset, n=dataset_size, seed=seed)
     if discriminator is None:
-        discriminator = train_default_discriminator(dataset, cascade.light, cascade.heavy, seed=seed)
+        discriminator = train_default_discriminator(
+            dataset, cascade.light, cascade.heavy, seed=seed
+        )
     if deferral_profile is None:
         deferral_profile = DeferralProfile.profile(discriminator, dataset, cascade.light, seed=seed)
 

@@ -5,16 +5,22 @@ Usage::
     python -m repro.cli list
     python -m repro.cli fig5 --dataset-size 500 --duration 240
     python -m repro.cli all --fast
+    python -m repro.cli run --grid "cascades=sdturbo;seeds=0,1" --jobs 4
 
 Each experiment prints the same table its ``repro.experiments`` module's
-``main()`` renders; ``all`` runs the full suite in order.
+``main()`` renders; ``all`` runs the full suite in order.  ``run`` executes an
+arbitrary experiment grid through the parallel runner with artifact caching
+(see :mod:`repro.runner`): repeated invocations are served from the cache
+without firing a single simulation event.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import (
     fig1_motivation,
@@ -52,8 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="experiment to run, 'all' for every experiment, 'list' to enumerate them",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "run"],
+        help=(
+            "experiment to run, 'all' for every experiment, 'list' to enumerate "
+            "them, 'run' to execute a grid through the parallel runner"
+        ),
     )
     parser.add_argument("--dataset-size", type=int, default=1000, help="number of prompts")
     parser.add_argument("--duration", type=float, default=360.0, help="trace duration (s)")
@@ -61,6 +70,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     parser.add_argument(
         "--fast", action="store_true", help="use a reduced scale (~10x faster)"
+    )
+    runner = parser.add_argument_group("grid runner ('run' only)")
+    runner.add_argument(
+        "--grid",
+        default="cascades=sdturbo",
+        help=(
+            "grid spec as ';'-separated key=value pairs; keys: cascades (comma-"
+            "separated), seeds (comma-separated ints), qps (static-trace rates; "
+            "omit for the Azure-like trace), slos (SLO sweep), systems "
+            "('+'-separated subset of the five systems)"
+        ),
+    )
+    runner.add_argument("--jobs", type=int, default=1, help="worker processes for 'run'")
+    runner.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the artifact cache entirely (recompute datasets/discriminators/summaries)",
+    )
+    runner.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget per cell in seconds (POSIX; applies to inline and parallel runs)",
+    )
+    runner.add_argument(
+        "--json", dest="json_path", default=None, help="write per-cell summaries to FILE"
     )
     return parser
 
@@ -90,12 +125,120 @@ def list_experiments() -> str:
     return text
 
 
+def parse_grid(text: str, scale: ExperimentScale):
+    """Build an :class:`~repro.runner.spec.ExperimentGrid` from a ``--grid`` spec.
+
+    The spec is ``;``-separated ``key=value`` pairs; the grid is the cross
+    product of every axis given.  Example::
+
+        cascades=sdturbo,sdxs;seeds=0,1;qps=8,16;systems=proteus+diffserve
+    """
+    from repro.runner.spec import DEFAULT_SYSTEMS, ExperimentGrid, TraceSpec
+
+    fields: Dict[str, str] = {}
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or not value:
+            raise ValueError(f"malformed grid field {part!r}; expected key=value")
+        fields[key.strip()] = value.strip()
+
+    cascades = [c for c in fields.pop("cascades", "sdturbo").split(",") if c]
+    seeds = [int(s) for s in fields.pop("seeds", str(scale.seed)).split(",")]
+    qps = [float(q) for q in fields.pop("qps", "").split(",") if q]
+    slos = [float(s) for s in fields.pop("slos", "").split(",") if s]
+    systems = tuple(s for s in fields.pop("systems", "").split("+") if s) or DEFAULT_SYSTEMS
+    if fields:
+        raise ValueError(f"unknown grid keys {sorted(fields)}")
+
+    traces = [TraceSpec(kind="static", qps=q) for q in qps] or [TraceSpec()]
+    params_list = [{"slo": s} for s in slos] or [{}]
+    scales = [replace(scale, seed=s) for s in seeds]
+    return ExperimentGrid.product(
+        cascades=cascades,
+        scales=scales,
+        systems=systems,
+        traces=traces,
+        params_list=params_list,
+    )
+
+
+def run_grid_command(args: argparse.Namespace) -> int:
+    """Execute the ``run`` subcommand: a grid through the parallel runner."""
+    from repro.experiments.harness import format_table
+    from repro.runner.cache import default_cache
+    from repro.runner.executor import canonical_summaries_json, run_grid
+
+    scale = scale_from_args(args)
+    try:
+        grid = parse_grid(args.grid, scale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = run_grid(
+        grid,
+        jobs=max(args.jobs, 1),
+        use_cache=not args.no_cache,
+        cell_timeout=args.cell_timeout,
+    )
+
+    rows = []
+    for cell in report.cells:
+        for system, summary in sorted(cell.summaries.items()):
+            rows.append(
+                [
+                    cell.spec.label,
+                    system,
+                    cell.status,
+                    summary["fid"],
+                    summary["slo_violation_ratio"],
+                    summary["p99_latency"],
+                ]
+            )
+        if not cell.ok:
+            rows.append([cell.spec.label, "-", cell.status, "-", "-", "-"])
+    print(format_table(["cell", "system", "status", "FID", "SLO viol", "p99 (s)"], rows))
+
+    cache = default_cache()
+    print(
+        f"cells={len(report.cells)} ok={sum(1 for c in report.cells if c.status == 'ok')} "
+        f"cached={report.cached_count} failed={len(report.failed)} jobs={report.jobs}"
+    )
+    print(f"grid={grid.content_hash[:16]} cache={cache.root} stats={report.cache_stats}")
+    for cell in report.failed:
+        print(f"--- {cell.spec.label} ({cell.status}) ---\n{cell.error}", file=sys.stderr)
+
+    if args.json_path:
+        payload_lines = [
+            json.dumps(
+                {
+                    "label": cell.spec.label,
+                    "spec": cell.spec.content_hash,
+                    "status": "ok" if cell.ok else cell.status,
+                    "summaries": json.loads(canonical_summaries_json(cell.summaries)),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            for cell in report.cells
+        ]
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(payload_lines) + "\n")
+
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         list_experiments()
         return 0
+    if args.experiment == "run":
+        return run_grid_command(args)
     scale = scale_from_args(args)
     names: List[str] = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

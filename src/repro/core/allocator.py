@@ -19,16 +19,15 @@ a grid and selected with binary variables inside a MILP solved per candidate
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.queueing import LittlesLawModel, QueueingModel
-from repro.discriminators.base import Discriminator
 from repro.discriminators.deferral import DeferralProfile
 from repro.milp.branch_and_bound import BranchAndBoundSolver
-from repro.milp.problem import MILPProblem, VarType
+from repro.milp.problem import MILPProblem
 from repro.models.variants import ModelVariant
 
 

@@ -9,7 +9,6 @@ sizes and updating the cascade's confidence threshold (Sections 3.1/3.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.allocator import AllocationPlan, ControlContext

@@ -10,10 +10,9 @@ the Clipper baselines and the content-agnostic random split used by Proteus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
-import numpy as np
 
 from repro.core.config import RoutingMode
 from repro.core.query import Query, QueryStage
@@ -59,7 +58,9 @@ class LoadBalancer(Actor):
         routing: RoutingMode,
         threshold: float = 0.5,
         heavy_fraction: float = 0.0,
-        on_response: Optional[Callable[[Query, GeneratedImage, QueryStage, Optional[float], bool], None]] = None,
+        on_response: Optional[
+            Callable[[Query, GeneratedImage, QueryStage, Optional[float], bool], None]
+        ] = None,
         on_drop: Optional[Callable[[Query], None]] = None,
     ) -> None:
         super().__init__(sim, name="load-balancer")
@@ -110,7 +111,9 @@ class LoadBalancer(Actor):
         self.stats.arrivals += 1
         self._arrival_times.append(self.now)
         if self.routing == RoutingMode.CASCADE:
-            pool, stage = (self.light_pool, "light") if self.light_pool else (self.heavy_pool, "heavy")
+            pool, stage = (
+                (self.light_pool, "light") if self.light_pool else (self.heavy_pool, "heavy")
+            )
         elif self.routing == RoutingMode.SINGLE:
             # Whatever pool is non-empty serves everything.
             pool, stage = (
@@ -120,7 +123,9 @@ class LoadBalancer(Actor):
             go_heavy = self.heavy_pool and self._rng.random() < self.heavy_fraction
             pool, stage = (self.heavy_pool, "heavy") if go_heavy else (self.light_pool, "light")
             if not pool:
-                pool, stage = (self.heavy_pool, "heavy") if self.heavy_pool else (self.light_pool, "light")
+                pool, stage = (
+                    (self.heavy_pool, "heavy") if self.heavy_pool else (self.light_pool, "light")
+                )
         else:  # pragma: no cover - exhaustive enum
             raise ValueError(f"unknown routing mode {self.routing}")
 

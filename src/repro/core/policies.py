@@ -10,8 +10,8 @@ policies (Clipper, Proteus, DiffServe-Static) live in :mod:`repro.baselines`.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.allocator import AllocationPlan, ControlContext, DiffServeAllocator
 from repro.core.queueing import TwoXExecutionModel

@@ -8,8 +8,7 @@ looks up latency profiles for the resource allocator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.discriminators.base import Discriminator
 from repro.models.variants import ModelVariant

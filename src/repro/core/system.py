@@ -11,12 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
 
 from repro.core.config import RoutingMode, SystemConfig
 from repro.core.controller import Controller
 from repro.core.load_balancer import LoadBalancer
-from repro.core.policies import AllocationPolicy, DiffServePolicy, make_diffserve_policy
+from repro.core.policies import AllocationPolicy, make_diffserve_policy
 from repro.core.query import Query
 from repro.core.repository import ModelRepository
 from repro.core.results import ResultCollector, SimulationResult
@@ -28,7 +27,7 @@ from repro.models.dataset import QueryDataset
 from repro.models.generation import ImageGenerator
 from repro.models.zoo import MODEL_ZOO
 from repro.simulator.simulation import Actor, Simulator
-from repro.traces.base import ArrivalTrace, RateCurve
+from repro.traces.base import ArrivalTrace
 
 
 class ClientSource(Actor):

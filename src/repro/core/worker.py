@@ -9,14 +9,12 @@ and (for light workers) the confidence threshold are set by the Controller.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional
 
-import numpy as np
 
 from repro.core.query import Query
 from repro.discriminators.base import Discriminator
-from repro.models.dataset import QueryDataset
 from repro.models.generation import GeneratedImage, ImageGenerator
 from repro.models.profiles import ProfiledTable
 from repro.models.variants import ModelVariant
@@ -123,7 +121,9 @@ class Worker(Actor):
             if self.reload_latency > 0:
                 # Block the worker for the model reload.
                 self.busy = True
-                self.sim.schedule(self.reload_latency, self._finish_reload, name=f"{self.name}-reload")
+                self.sim.schedule(
+                    self.reload_latency, self._finish_reload, name=f"{self.name}-reload"
+                )
 
     def _finish_reload(self) -> None:
         self.busy = False

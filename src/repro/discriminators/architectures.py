@@ -15,7 +15,7 @@ architecture is characterised by:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np

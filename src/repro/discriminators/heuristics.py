@@ -14,7 +14,6 @@ These implement the alternative cascade designs compared in Figure 1a:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

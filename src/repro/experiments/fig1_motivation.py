@@ -16,18 +16,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 
 from repro.discriminators.heuristics import ClipScoreDiscriminator, PickScoreDiscriminator
-from repro.discriminators.training import DiscriminatorTrainer, TrainingConfig
+from repro.discriminators.training import TrainingConfig
 from repro.experiments.cascade_eval import CascadeCurve, CascadeEvaluator, CascadePoint
-from repro.experiments.harness import ExperimentScale, BENCH_SCALE, format_table
-from repro.models.dataset import load_dataset
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
 from repro.models.generation import ImageGenerator
 from repro.models.scores import pick_score
-from repro.models.zoo import MODEL_ZOO, get_cascade, get_variant
+from repro.models.zoo import get_cascade, get_variant
+from repro.runner.artifacts import cached_dataset, cached_training_result
 
 #: Independent model variants plotted as single points in Figure 1a.
 INDEPENDENT_VARIANTS = (
@@ -90,8 +90,10 @@ def run_fig1a(
 ) -> Fig1aResult:
     """Reproduce one panel of Figure 1a."""
     cascade = get_cascade(cascade_name)
-    dataset = load_dataset("coco", n=scale.dataset_size, seed=scale.seed)
-    evaluator = CascadeEvaluator(dataset, cascade.light, cascade.heavy, n_queries=scale.dataset_size)
+    dataset = cached_dataset("coco", scale.dataset_size, scale.seed)
+    evaluator = CascadeEvaluator(
+        dataset, cascade.light, cascade.heavy, n_queries=scale.dataset_size
+    )
 
     result = Fig1aResult(cascade_name=cascade_name)
     for name in INDEPENDENT_VARIANTS:
@@ -101,8 +103,12 @@ def run_fig1a(
         solo = CascadeEvaluator(dataset, variant, cascade.heavy, n_queries=scale.dataset_size)
         result.variant_points[name] = solo.single_model_point("light")
 
-    trainer = DiscriminatorTrainer(dataset, cascade.light, cascade.heavy)
-    trained = trainer.train(TrainingConfig(n_train=min(600, scale.dataset_size), seed=scale.seed))
+    trained = cached_training_result(
+        dataset,
+        cascade.light,
+        cascade.heavy,
+        TrainingConfig(n_train=min(600, scale.dataset_size), seed=scale.seed),
+    )
 
     thresholds = np.linspace(0.0, 1.0, n_thresholds)
     result.curves["discriminator"] = evaluator.sweep(
@@ -125,17 +131,20 @@ def run_fig1b(
 ) -> Fig1bResult:
     """Reproduce one panel pair of Figure 1b."""
     cascade = get_cascade(cascade_name)
-    dataset = load_dataset("coco", n=scale.dataset_size, seed=scale.seed)
+    dataset = cached_dataset("coco", scale.dataset_size, scale.seed)
     generator = ImageGenerator(seed=scale.seed)
-    trainer = DiscriminatorTrainer(dataset, cascade.light, cascade.heavy, generator=generator)
-    discriminator = trainer.train(
-        TrainingConfig(n_train=min(600, scale.dataset_size), seed=scale.seed)
+    discriminator = cached_training_result(
+        dataset,
+        cascade.light,
+        cascade.heavy,
+        TrainingConfig(n_train=min(600, scale.dataset_size), seed=scale.seed),
+        generator=generator,
     ).discriminator
 
     ids = np.arange(len(dataset))
     light = [generator.generate(int(i), dataset.difficulty(int(i)), cascade.light) for i in ids]
     heavy = [generator.generate(int(i), dataset.difficulty(int(i)), cascade.heavy) for i in ids]
-    pick_diff = np.array([pick_score(l) - pick_score(h) for l, h in zip(light, heavy)])
+    pick_diff = np.array([pick_score(lo) - pick_score(hv) for lo, hv in zip(light, heavy)])
     conf_diff = discriminator.confidence_batch(light) - discriminator.confidence_batch(heavy)
     return Fig1bResult(
         cascade_name=cascade_name,

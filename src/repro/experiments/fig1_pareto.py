@@ -21,14 +21,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.discriminators.training import DiscriminatorTrainer, TrainingConfig
-from repro.experiments.cascade_eval import CascadeEvaluator
+from repro.discriminators.training import TrainingConfig
 from repro.experiments.harness import BENCH_SCALE, ExperimentScale
 from repro.metrics.fid import fid_score
 from repro.metrics.pareto import ParetoPoint, pareto_frontier
-from repro.models.dataset import load_dataset
 from repro.models.generation import ImageGenerator
 from repro.models.zoo import get_cascade
+from repro.runner.artifacts import cached_dataset, cached_training_result
 
 
 @dataclass(frozen=True)
@@ -73,11 +72,14 @@ def run_fig1c(
     """Enumerate the configuration space and compute its Pareto frontier."""
     cascade = get_cascade(cascade_name)
     slo = slo if slo is not None else cascade.slo
-    dataset = load_dataset("coco", n=scale.dataset_size, seed=scale.seed)
+    dataset = cached_dataset("coco", scale.dataset_size, scale.seed)
     generator = ImageGenerator(seed=scale.seed)
-    trainer = DiscriminatorTrainer(dataset, cascade.light, cascade.heavy, generator=generator)
-    discriminator = trainer.train(
-        TrainingConfig(n_train=min(600, scale.dataset_size), seed=scale.seed)
+    discriminator = cached_training_result(
+        dataset,
+        cascade.light,
+        cascade.heavy,
+        TrainingConfig(n_train=min(600, scale.dataset_size), seed=scale.seed),
+        generator=generator,
     ).discriminator
 
     ids = np.arange(len(dataset))

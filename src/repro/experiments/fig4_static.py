@@ -6,6 +6,11 @@ dynamic systems (Proteus and DiffServe) are swept over their over-provisioning
 factor to trace out their quality/latency trade-off curves; the Clipper
 baselines yield a single point each.  The paper's finding: DiffServe's curve
 is Pareto-optimal (lower-left) at every load level.
+
+The sweep is expressed as an :class:`~repro.runner.spec.ExperimentGrid` —
+one cell per (load level, system set, over-provisioning factor) — so the
+cells can run in parallel and repeated runs are served from the artifact
+cache.
 """
 
 from __future__ import annotations
@@ -13,14 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
-from repro.baselines import build_clipper_system, build_proteus_system
-from repro.core.system import build_diffserve_system
-from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table, shared_components
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
 from repro.metrics.pareto import ParetoPoint, is_pareto_dominated
-from repro.traces.base import ArrivalTrace
-from repro.traces.synthetic import static_rate
+from repro.runner.executor import run_grid
+from repro.runner.spec import ExperimentGrid, ExperimentSpec, TraceSpec
 
 #: Static load levels (QPS) for a 16-worker cluster serving Cascade 1.
 DEFAULT_LOAD_LEVELS: Dict[str, float] = {"low": 8.0, "medium": 16.0, "high": 26.0}
@@ -55,68 +56,83 @@ class Fig4Result:
         return any(not is_pareto_dominated(p, others) for p in ours)
 
 
+def build_fig4_grid(
+    cascade_name: str = "sdturbo",
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    load_levels: Dict[str, float] = None,
+    factors: Sequence[float] = DEFAULT_FACTORS,
+) -> Tuple[ExperimentGrid, List[Tuple[str, str, object]], Dict[str, float]]:
+    """The figure's grid, per-cell ``(load, system, payload)`` tags, and the
+    worker-scaled load levels the cells actually simulate."""
+    load_levels = dict(DEFAULT_LOAD_LEVELS if load_levels is None else load_levels)
+    # Scale loads with cluster size relative to the paper's 16 workers.
+    worker_factor = scale.num_workers / 16.0
+    load_levels = {k: v * worker_factor for k, v in load_levels.items()}
+
+    specs: List[ExperimentSpec] = []
+    tags: List[Tuple[str, str, object]] = []
+    for load_name, qps in load_levels.items():
+        trace = TraceSpec(kind="static", qps=float(qps))
+        specs.append(
+            ExperimentSpec(
+                cascade=cascade_name,
+                scale=scale,
+                systems=("clipper-light", "clipper-heavy"),
+                trace=trace,
+            )
+        )
+        tags.append((load_name, "clipper", None))
+        for factor in factors:
+            for system in ("proteus", "diffserve"):
+                specs.append(
+                    ExperimentSpec(
+                        cascade=cascade_name,
+                        scale=scale,
+                        systems=(system,),
+                        trace=trace,
+                        params=(("over_provision", float(factor)),),
+                    )
+                )
+                tags.append((load_name, system, float(factor)))
+    return ExperimentGrid.of(specs), tags, load_levels
+
+
 def run_fig4(
     cascade_name: str = "sdturbo",
     scale: ExperimentScale = BENCH_SCALE,
     *,
     load_levels: Dict[str, float] = None,
     factors: Sequence[float] = DEFAULT_FACTORS,
+    jobs: int = 1,
 ) -> Fig4Result:
-    """Run the static-trace comparison."""
-    load_levels = dict(DEFAULT_LOAD_LEVELS if load_levels is None else load_levels)
-    # Scale loads with cluster size relative to the paper's 16 workers.
-    worker_factor = scale.num_workers / 16.0
-    load_levels = {k: v * worker_factor for k, v in load_levels.items()}
+    """Run the static-trace comparison (optionally across ``jobs`` processes)."""
+    grid, tags, scaled_levels = build_fig4_grid(
+        cascade_name, scale, load_levels=load_levels, factors=factors
+    )
+    report = run_grid(grid, jobs=jobs)
+    if not report.ok:
+        failed = report.failed[0]
+        raise RuntimeError(f"fig4 cell {failed.spec.label} failed: {failed.error}")
 
-    cascade, dataset, discriminator = shared_components(cascade_name, scale)
-    result = Fig4Result(cascade_name=cascade_name, load_levels=load_levels)
-
-    for load_name, qps in load_levels.items():
-        curve = static_rate(qps, scale.trace_duration)
-        trace = ArrivalTrace.from_rate_curve(curve, np.random.default_rng(scale.seed))
-        level_points: Dict[str, List[ParetoPoint]] = {}
-
-        for which in ("light", "heavy"):
-            system = build_clipper_system(
-                cascade_name, which, num_workers=scale.num_workers, dataset=dataset, seed=scale.seed
+    result = Fig4Result(cascade_name=cascade_name, load_levels=scaled_levels)
+    for (load_name, tag, payload), cell in zip(tags, report.cells):
+        level_points = result.points.setdefault(load_name, {})
+        if tag == "clipper":
+            for which in ("light", "heavy"):
+                summary = cell.summaries[f"clipper-{which}"]
+                level_points[f"clipper-{which}"] = [
+                    ParetoPoint(
+                        x=summary["slo_violation_ratio"], y=summary["fid"], payload=which
+                    )
+                ]
+        else:
+            summary = cell.summaries[tag]
+            level_points.setdefault(tag, []).append(
+                ParetoPoint(
+                    x=summary["slo_violation_ratio"], y=summary["fid"], payload=payload
+                )
             )
-            res = system.run(trace)
-            level_points[f"clipper-{which}"] = [
-                ParetoPoint(x=res.slo_violation_ratio, y=res.fid(), payload=which)
-            ]
-
-        proteus_points = []
-        for factor in factors:
-            system = build_proteus_system(
-                cascade_name,
-                num_workers=scale.num_workers,
-                dataset=dataset,
-                over_provision=factor,
-                seed=scale.seed,
-            )
-            res = system.run(trace)
-            proteus_points.append(
-                ParetoPoint(x=res.slo_violation_ratio, y=res.fid(), payload=factor)
-            )
-        level_points["proteus"] = proteus_points
-
-        diffserve_points = []
-        for factor in factors:
-            system = build_diffserve_system(
-                cascade_name,
-                num_workers=scale.num_workers,
-                dataset=dataset,
-                discriminator=discriminator,
-                over_provision=factor,
-                seed=scale.seed,
-            )
-            res = system.run(trace)
-            diffserve_points.append(
-                ParetoPoint(x=res.slo_violation_ratio, y=res.fid(), payload=factor)
-            )
-        level_points["diffserve"] = diffserve_points
-
-        result.points[load_name] = level_points
     return result
 
 

@@ -20,12 +20,12 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.discriminators.training import DiscriminatorTrainer, TrainingConfig
+from repro.discriminators.training import TrainingConfig
 from repro.experiments.cascade_eval import CascadeCurve, CascadeEvaluator
 from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
-from repro.models.dataset import load_dataset
 from repro.models.generation import ImageGenerator
 from repro.models.zoo import get_cascade
+from repro.runner.artifacts import cached_dataset, cached_training_result
 
 #: (label, architecture, real_source) triples of Figure 7.
 DISCRIMINATOR_VARIANTS: Tuple[Tuple[str, str, str], ...] = (
@@ -62,19 +62,22 @@ def run_fig7(
     thresholds = np.linspace(0.0, 1.0, n_thresholds)
     for cascade_name in cascades:
         cascade = get_cascade(cascade_name)
-        dataset = load_dataset("coco", n=scale.dataset_size, seed=scale.seed)
+        dataset = cached_dataset("coco", scale.dataset_size, scale.seed)
         generator = ImageGenerator(seed=scale.seed)
         evaluator = CascadeEvaluator(dataset, cascade.light, cascade.heavy, generator=generator)
-        trainer = DiscriminatorTrainer(dataset, cascade.light, cascade.heavy, generator=generator)
         curves: Dict[str, CascadeCurve] = {}
         for label, architecture, real_source in DISCRIMINATOR_VARIANTS:
-            trained = trainer.train(
+            trained = cached_training_result(
+                dataset,
+                cascade.light,
+                cascade.heavy,
                 TrainingConfig(
                     architecture=architecture,
                     real_source=real_source,
                     n_train=min(600, scale.dataset_size),
                     seed=scale.seed,
-                )
+                ),
+                generator=generator,
             )
             curves[label] = evaluator.sweep(trained.discriminator, thresholds, label=label)
         result.curves[cascade_name] = curves

@@ -10,26 +10,22 @@ the Azure-like trace (Cascade 1):
   violations occur.
 * **No queueing model** — queueing delays are assumed to be twice the
   execution latency (the Proteus heuristic) instead of Little's law.
+
+Each variant is one grid cell (the ``policy_variant``/``static_threshold``
+spec params select the ablation), so the ablation parallelises and caches
+like every other figure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
-import numpy as np
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
+from repro.runner.executor import run_grid
+from repro.runner.spec import ExperimentGrid, ExperimentSpec
 
-from repro.core.results import SimulationResult
-from repro.core.system import build_diffserve_system
-from repro.experiments.harness import (
-    BENCH_SCALE,
-    ExperimentScale,
-    default_trace,
-    format_table,
-    shared_components,
-)
-
-#: Policy variants of the ablation (label -> build_diffserve_system kwargs).
+#: Ablation label -> spec params selecting the allocation variant.
 ABLATION_VARIANTS: Dict[str, Dict[str, object]] = {
     "diffserve": {"policy_variant": "full"},
     "static-threshold": {"policy_variant": "static-threshold", "static_threshold": 0.5},
@@ -40,36 +36,43 @@ ABLATION_VARIANTS: Dict[str, Dict[str, object]] = {
 
 @dataclass
 class Fig8Result:
-    """Per-variant simulation results."""
+    """Per-variant summary metrics."""
 
-    results: Dict[str, SimulationResult] = field(default_factory=dict)
+    results: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def fid(self, variant: str) -> float:
         """FID of one allocation variant."""
-        return self.results[variant].fid()
+        return self.results[variant]["fid"]
 
     def violation(self, variant: str) -> float:
         """SLO violation ratio of one allocation variant."""
-        return self.results[variant].slo_violation_ratio
+        return self.results[variant]["slo_violation_ratio"]
 
 
 def run_fig8(
-    cascade_name: str = "sdturbo", scale: ExperimentScale = BENCH_SCALE
+    cascade_name: str = "sdturbo",
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    jobs: int = 1,
 ) -> Fig8Result:
-    """Run the allocation ablation."""
-    cascade, dataset, discriminator = shared_components(cascade_name, scale)
-    curve, trace = default_trace(cascade_name, scale)
-    result = Fig8Result()
-    for label, kwargs in ABLATION_VARIANTS.items():
-        system = build_diffserve_system(
-            cascade_name,
-            num_workers=scale.num_workers,
-            dataset=dataset,
-            discriminator=discriminator,
-            seed=scale.seed,
-            **kwargs,
+    """Run the allocation ablation (optionally across ``jobs`` processes)."""
+    specs = [
+        ExperimentSpec(
+            cascade=cascade_name,
+            scale=scale,
+            systems=("diffserve",),
+            params=tuple(sorted(params.items())),
         )
-        result.results[label] = system.run(trace)
+        for params in ABLATION_VARIANTS.values()
+    ]
+    report = run_grid(ExperimentGrid.of(specs), jobs=jobs)
+    if not report.ok:
+        failed = report.failed[0]
+        raise RuntimeError(f"fig8 cell {failed.spec.label} failed: {failed.error}")
+
+    result = Fig8Result()
+    for label, cell in zip(ABLATION_VARIANTS, report.cells):
+        result.results[label] = cell.summaries["diffserve"]
     return result
 
 
@@ -77,8 +80,8 @@ def main(scale: ExperimentScale = BENCH_SCALE) -> str:
     """Run Figure 8 and print the comparison table."""
     result = run_fig8(scale=scale)
     rows = [
-        [label, res.fid(), res.slo_violation_ratio, res.deferral_rate]
-        for label, res in result.results.items()
+        [label, summary["fid"], summary["slo_violation_ratio"], summary["deferral_rate"]]
+        for label, summary in result.results.items()
     ]
     output = "\n".join(
         [

@@ -4,6 +4,9 @@ DiffServe is run on the Azure-like trace (Cascade 1) with SLOs ranging from
 tight to loose; the paper reports that it keeps SLO violations low and quality
 high across the whole range (the threshold simply adapts: tighter SLOs force
 more queries to stay on the light model).
+
+Each SLO setting is one grid cell (the ``slo`` spec param), so the sweep
+parallelises and caches like every other figure.
 """
 
 from __future__ import annotations
@@ -11,17 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-import numpy as np
-
-from repro.core.results import SimulationResult
-from repro.core.system import build_diffserve_system
-from repro.experiments.harness import (
-    BENCH_SCALE,
-    ExperimentScale,
-    default_trace,
-    format_table,
-    shared_components,
-)
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
+from repro.runner.executor import run_grid
+from repro.runner.spec import ExperimentGrid, ExperimentSpec
 
 #: SLO values (seconds) swept for Cascade 1.
 DEFAULT_SLOS: tuple = (2.0, 3.0, 4.0, 5.0, 7.0, 10.0)
@@ -29,17 +24,17 @@ DEFAULT_SLOS: tuple = (2.0, 3.0, 4.0, 5.0, 7.0, 10.0)
 
 @dataclass
 class Fig9Result:
-    """Per-SLO results."""
+    """Per-SLO summary metrics."""
 
-    results: Dict[float, SimulationResult] = field(default_factory=dict)
+    results: Dict[float, Dict[str, float]] = field(default_factory=dict)
 
     def avg_fid(self, slo: float) -> float:
         """Average FID at a given SLO."""
-        return self.results[slo].fid()
+        return self.results[slo]["fid"]
 
     def avg_violation(self, slo: float) -> float:
         """Average SLO violation ratio at a given SLO."""
-        return self.results[slo].slo_violation_ratio
+        return self.results[slo]["slo_violation_ratio"]
 
     @property
     def slos(self) -> List[float]:
@@ -52,21 +47,26 @@ def run_fig9(
     scale: ExperimentScale = BENCH_SCALE,
     *,
     slos: Sequence[float] = DEFAULT_SLOS,
+    jobs: int = 1,
 ) -> Fig9Result:
-    """Run DiffServe across SLO settings."""
-    cascade, dataset, discriminator = shared_components(cascade_name, scale)
-    curve, trace = default_trace(cascade_name, scale)
-    result = Fig9Result()
-    for slo in slos:
-        system = build_diffserve_system(
-            cascade_name,
-            num_workers=scale.num_workers,
-            slo=float(slo),
-            dataset=dataset,
-            discriminator=discriminator,
-            seed=scale.seed,
+    """Run DiffServe across SLO settings (optionally across ``jobs`` processes)."""
+    specs = [
+        ExperimentSpec(
+            cascade=cascade_name,
+            scale=scale,
+            systems=("diffserve",),
+            params=(("slo", float(slo)),),
         )
-        result.results[float(slo)] = system.run(trace)
+        for slo in slos
+    ]
+    report = run_grid(ExperimentGrid.of(specs), jobs=jobs)
+    if not report.ok:
+        failed = report.failed[0]
+        raise RuntimeError(f"fig9 cell {failed.spec.label} failed: {failed.error}")
+
+    result = Fig9Result()
+    for slo, cell in zip(slos, report.cells):
+        result.results[float(slo)] = cell.summaries["diffserve"]
     return result
 
 

@@ -8,7 +8,7 @@ discriminator, runs them on a common trace, and renders plain-text tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -20,9 +20,8 @@ from repro.baselines import (
 from repro.core.results import SimulationResult
 from repro.core.system import ServingSimulation, build_diffserve_system
 from repro.discriminators.base import Discriminator
-from repro.discriminators.training import train_default_discriminator
-from repro.models.dataset import QueryDataset, load_dataset
-from repro.models.zoo import CascadeSpec, get_cascade
+from repro.models.dataset import QueryDataset
+from repro.models.zoo import get_cascade
 from repro.traces.azure import azure_functions_like_rate
 from repro.traces.base import ArrivalTrace, RateCurve
 
@@ -86,14 +85,21 @@ class SystemComparison:
         return self.results[name].slo_violation_ratio
 
 
-def shared_components(
-    cascade_name: str, scale: ExperimentScale
-) -> tuple:
-    """(cascade, dataset, discriminator) shared by all systems in a comparison."""
+def shared_components(cascade_name: str, scale: ExperimentScale, *, cache=None) -> tuple:
+    """(cascade, dataset, discriminator) shared by all systems in a comparison.
+
+    The dataset and the trained discriminator are memoized in the runner's
+    artifact cache (see :mod:`repro.runner.cache`), keyed by the cascade, the
+    scale knobs that affect them, and a fingerprint of the model-zoo
+    calibration — repeated figure runs and CI re-runs skip dataset synthesis
+    and discriminator training entirely.
+    """
+    from repro.runner.artifacts import cached_dataset, cached_default_discriminator
+
     cascade = get_cascade(cascade_name)
-    dataset = load_dataset(cascade.dataset, n=scale.dataset_size, seed=scale.seed)
-    discriminator = train_default_discriminator(
-        dataset, cascade.light, cascade.heavy, seed=scale.seed
+    dataset = cached_dataset(cascade.dataset, scale.dataset_size, scale.seed, cache=cache)
+    discriminator = cached_default_discriminator(
+        dataset, cascade.light, cascade.heavy, seed=scale.seed, cache=cache
     )
     return cascade, dataset, discriminator
 
@@ -127,40 +133,71 @@ def build_comparison_systems(
         "diffserve-static",
         "diffserve",
     ),
+    slo: Optional[float] = None,
+    over_provision: Optional[float] = None,
+    policy_variant: str = "full",
+    static_threshold: float = 0.5,
 ) -> Dict[str, ServingSimulation]:
-    """Instantiate the requested systems with shared dataset/discriminator."""
+    """Instantiate the requested systems with shared dataset/discriminator.
+
+    ``slo``/``over_provision`` override the per-system defaults (``None``
+    keeps each builder's own default); ``policy_variant``/``static_threshold``
+    select the Section 4.5 DiffServe allocation ablations.
+    """
     if dataset is None or discriminator is None:
         _, dataset, discriminator = shared_components(cascade_name, scale)
+    over = {} if over_provision is None else {"over_provision": over_provision}
     built: Dict[str, ServingSimulation] = {}
     for name in systems:
         if name == "clipper-light":
             built[name] = build_clipper_system(
-                cascade_name, "light", num_workers=scale.num_workers, dataset=dataset, seed=scale.seed
+                cascade_name,
+                "light",
+                num_workers=scale.num_workers,
+                slo=slo,
+                dataset=dataset,
+                seed=scale.seed,
             )
         elif name == "clipper-heavy":
             built[name] = build_clipper_system(
-                cascade_name, "heavy", num_workers=scale.num_workers, dataset=dataset, seed=scale.seed
+                cascade_name,
+                "heavy",
+                num_workers=scale.num_workers,
+                slo=slo,
+                dataset=dataset,
+                seed=scale.seed,
             )
         elif name == "proteus":
             built[name] = build_proteus_system(
-                cascade_name, num_workers=scale.num_workers, dataset=dataset, seed=scale.seed
+                cascade_name,
+                num_workers=scale.num_workers,
+                slo=slo,
+                dataset=dataset,
+                seed=scale.seed,
+                **over,
             )
         elif name == "diffserve-static":
             built[name] = build_diffserve_static_system(
                 cascade_name,
                 anticipated_peak_qps=anticipated_peak_qps,
                 num_workers=scale.num_workers,
+                slo=slo,
                 dataset=dataset,
                 discriminator=discriminator,
                 seed=scale.seed,
+                **over,
             )
         elif name == "diffserve":
             built[name] = build_diffserve_system(
                 cascade_name,
                 num_workers=scale.num_workers,
+                slo=slo,
                 dataset=dataset,
                 discriminator=discriminator,
                 seed=scale.seed,
+                policy_variant=policy_variant,
+                static_threshold=static_threshold,
+                **over,
             )
         else:
             raise KeyError(f"unknown system {name!r}")
@@ -184,20 +221,22 @@ def run_comparison(
 
     ``peak_provision_factor`` scales the trace peak into the *anticipated*
     peak DiffServe-Static is provisioned for (operators under-estimate bursts).
+
+    This is a thin wrapper over the runner subsystem: the comparison is one
+    grid cell whose shared components come from the artifact cache.
     """
-    cascade, dataset, discriminator = shared_components(cascade_name, scale)
-    curve, trace = default_trace(cascade_name, scale)
-    built = build_comparison_systems(
-        cascade_name,
-        scale,
-        anticipated_peak_qps=peak_provision_factor * curve.peak,
-        dataset=dataset,
-        discriminator=discriminator,
-        systems=systems,
+    from repro.runner.executor import run_cell_results
+    from repro.runner.spec import ExperimentSpec
+
+    spec = ExperimentSpec(
+        cascade=cascade_name,
+        scale=scale,
+        systems=tuple(systems),
+        peak_provision_factor=peak_provision_factor,
     )
+    curve, results = run_cell_results(spec)
     comparison = SystemComparison(cascade_name=cascade_name, trace_curve=curve)
-    for name, system in built.items():
-        comparison.results[name] = system.run(trace)
+    comparison.results.update(results)
     return comparison
 
 

@@ -9,18 +9,17 @@ cross-checks its solutions against the exhaustive solver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.allocator import ControlContext, DiffServeAllocator
 from repro.discriminators.deferral import DeferralProfile
-from repro.discriminators.training import train_default_discriminator
 from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
 from repro.milp.branch_and_bound import BranchAndBoundSolver
 from repro.milp.exhaustive import ExhaustiveSolver
-from repro.models.dataset import load_dataset
 from repro.models.zoo import get_cascade
+from repro.runner.artifacts import cached_dataset, cached_default_discriminator
 
 
 @dataclass
@@ -60,8 +59,8 @@ def run_milp_overhead(
     """Measure allocation solve times across demand levels."""
     cascade = get_cascade(cascade_name)
     slo = slo if slo is not None else cascade.slo
-    dataset = load_dataset(cascade.dataset, n=scale.dataset_size, seed=scale.seed)
-    discriminator = train_default_discriminator(
+    dataset = cached_dataset(cascade.dataset, scale.dataset_size, scale.seed)
+    discriminator = cached_default_discriminator(
         dataset, cascade.light, cascade.heavy, seed=scale.seed
     )
     profile = DeferralProfile.profile(discriminator, dataset, cascade.light, seed=scale.seed)

@@ -18,9 +18,9 @@ import numpy as np
 
 from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
 from repro.metrics.fid import fid_score
-from repro.models.dataset import load_dataset
 from repro.models.generation import ImageGenerator
 from repro.models.zoo import get_cascade
+from repro.runner.artifacts import cached_dataset
 
 #: Quality penalty applied when the heavy model reuses the light model's
 #: latent, per cascade.  SD-Turbo is distilled directly from SDv1.5 so its
@@ -52,7 +52,7 @@ def run_reuse_study(
     result = ReuseResult()
     for cascade_name in cascades:
         cascade = get_cascade(cascade_name)
-        dataset = load_dataset(cascade.dataset, n=scale.dataset_size, seed=scale.seed)
+        dataset = cached_dataset(cascade.dataset, scale.dataset_size, scale.seed)
         generator = ImageGenerator(seed=scale.seed)
         ids = np.arange(len(dataset))
         light = [

@@ -12,7 +12,7 @@ rather than an Inception network.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 from scipy import linalg

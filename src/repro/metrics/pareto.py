@@ -8,8 +8,8 @@ SLO violation ratio (lower is better).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -68,11 +68,13 @@ def pareto_frontier(
         if not is_pareto_dominated(p, points, minimize_x=minimize_x, minimize_y=minimize_y)
     ]
     frontier.sort(key=lambda p: (p.x, p.y))
-    # Remove duplicate coordinates while keeping the first payload.
+    # Remove duplicate coordinates while keeping the first payload.  The key
+    # must compare coordinates exactly: rounding merges distinct near-zero
+    # points and would drop a non-dominated point from the frontier.
     seen: set = set()
     unique: List[ParetoPoint] = []
     for p in frontier:
-        key = (round(p.x, 12), round(p.y, 12))
+        key = (p.x, p.y)
         if key not in seen:
             seen.add(key)
             unique.append(p)

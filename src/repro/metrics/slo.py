@@ -7,7 +7,7 @@ dropped by the system because they are predicted to miss their deadline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

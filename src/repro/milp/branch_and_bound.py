@@ -148,7 +148,9 @@ class BranchAndBoundSolver:
         if incumbent is None:
             status_out = SolveStatus.NODE_LIMIT if heap else SolveStatus.INFEASIBLE
             return MILPSolution(status=status_out, nodes_explored=nodes, solve_time_s=elapsed)
-        status_out = SolveStatus.OPTIMAL if not heap or nodes < self.max_nodes else SolveStatus.NODE_LIMIT
+        status_out = (
+            SolveStatus.OPTIMAL if not heap or nodes < self.max_nodes else SolveStatus.NODE_LIMIT
+        )
         return MILPSolution(
             status=SolveStatus.OPTIMAL if status_out == SolveStatus.OPTIMAL else status_out,
             objective=incumbent_obj,

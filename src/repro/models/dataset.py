@@ -9,8 +9,8 @@ real-image reference features.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
@@ -94,7 +94,9 @@ class QueryDataset:
         )
 
 
-def _make_prompts(n: int, difficulties: np.ndarray, rng: np.random.Generator, long_form: bool) -> List[str]:
+def _make_prompts(
+    n: int, difficulties: np.ndarray, rng: np.random.Generator, long_form: bool
+) -> List[str]:
     """Compose synthetic prompts whose verbosity grows with difficulty."""
     prompts = []
     for i in range(n):
@@ -138,13 +140,18 @@ def _make_dataset(
 
 def make_coco_like(n: int = 5000, seed: int = 0, feature_dim: int = FEATURE_DIM) -> QueryDataset:
     """MS-COCO-2017-like caption dataset (512x512, Cascades 1-2)."""
-    return _make_dataset("coco", n, COCO_DIFFICULTY, 512, seed, long_form=False, feature_dim=feature_dim)
+    return _make_dataset(
+        "coco", n, COCO_DIFFICULTY, 512, seed, long_form=False, feature_dim=feature_dim
+    )
 
 
-def make_diffusiondb_like(n: int = 5000, seed: int = 0, feature_dim: int = FEATURE_DIM) -> QueryDataset:
+def make_diffusiondb_like(
+    n: int = 5000, seed: int = 0, feature_dim: int = FEATURE_DIM
+) -> QueryDataset:
     """DiffusionDB-like user-prompt dataset (1024x1024, Cascade 3)."""
     return _make_dataset(
-        "diffusiondb", n, DIFFUSIONDB_DIFFICULTY, 1024, seed, long_form=True, feature_dim=feature_dim
+        "diffusiondb", n, DIFFUSIONDB_DIFFICULTY, 1024, seed, long_form=True,
+        feature_dim=feature_dim,
     )
 
 

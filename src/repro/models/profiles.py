@@ -75,7 +75,10 @@ class LatencyProfile:
         """Deterministic execution latency (seconds) of a batch."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        return self.fixed_overhead + self.per_image * batch_size * self.batching_efficiency(batch_size)
+        return (
+            self.fixed_overhead
+            + self.per_image * batch_size * self.batching_efficiency(batch_size)
+        )
 
     def throughput(self, batch_size: int) -> float:
         """Steady-state throughput (queries/second) of one worker at ``batch_size``."""

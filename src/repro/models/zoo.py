@@ -43,11 +43,11 @@ SD_TURBO = _register(
         resolution=512,
         latency=LatencyProfile(per_image=0.10, fixed_overhead=0.010),
         quality=QualityModel(
-            base_quality=0.90,
-            difficulty_sensitivity=0.42,
-            quality_noise=0.11,
-            artifact_scale=1.38,
-            diversity=1.10,
+            base_quality=0.92,
+            difficulty_sensitivity=0.48,
+            quality_noise=0.06,
+            artifact_scale=1.45,
+            diversity=0.92,
         ),
         family="sd",
         memory_gb=6.0,

@@ -1,0 +1,130 @@
+"""Cached construction of expensive shared artifacts.
+
+Every figure/table experiment needs the same three kinds of expensive
+objects: a synthetic prompt dataset, a trained discriminator, and (sometimes)
+the full :class:`~repro.discriminators.training.TrainingResult` with its
+held-out statistics.  The helpers here memoize them in the runner's disk
+cache, keyed by the *content* that determines them — the load parameters, a
+digest of the dataset, the variant definitions, and the generation constants
+— so repeated figure runs, grid cells in worker processes, and CI re-runs all
+share one copy instead of rebuilding from scratch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+import numpy as np
+
+from repro.runner.cache import ArtifactCache, default_cache
+from repro.runner.spec import CACHE_SCHEMA_VERSION, variants_fingerprint
+
+#: Cache namespaces.
+DATASET_KIND = "datasets"
+DISCRIMINATOR_KIND = "discriminators"
+TRAINING_KIND = "trainings"
+
+
+def _generation_fingerprint() -> str:
+    """Digest of the substrate constants that shape every dataset."""
+    from repro.models.difficulty import COCO_DIFFICULTY, DIFFUSIONDB_DIFFICULTY
+    from repro.models.generation import FEATURE_DIM
+
+    token = "|".join(
+        [
+            f"schema={CACHE_SCHEMA_VERSION}",
+            f"feature_dim={FEATURE_DIM}",
+            repr(COCO_DIFFICULTY),
+            repr(DIFFUSIONDB_DIFFICULTY),
+        ]
+    )
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()[:12]
+
+
+def dataset_digest(dataset) -> str:
+    """Content digest of a :class:`~repro.models.dataset.QueryDataset`.
+
+    Derived from the difficulty and reference-feature arrays (not the load
+    parameters), so artifacts keyed by it stay correct no matter how the
+    dataset instance was obtained.
+    """
+    digest = hashlib.sha256()
+    digest.update(dataset.name.encode("utf-8"))
+    digest.update(np.ascontiguousarray(dataset.difficulties, dtype=float).tobytes())
+    digest.update(np.ascontiguousarray(dataset.real_features, dtype=float).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def cached_dataset(name: str, n: int, seed: int, *, cache: Optional[ArtifactCache] = None):
+    """Load (or fetch from cache) a dataset by name, size and seed."""
+    from repro.models.dataset import load_dataset
+
+    cache = cache if cache is not None else default_cache()
+    key = f"{name.lower()}-n{n}-seed{seed}-{_generation_fingerprint()}"
+    return cache.memoize(DATASET_KIND, key, lambda: load_dataset(name, n=n, seed=seed))
+
+
+def cached_training_result(
+    dataset,
+    light,
+    heavy,
+    config,
+    *,
+    generator=None,
+    cache: Optional[ArtifactCache] = None,
+):
+    """Train (or fetch from cache) a discriminator under ``config``.
+
+    Returns the full :class:`~repro.discriminators.training.TrainingResult`
+    including the held-out accuracy/correlation statistics, so ablation
+    figures can be served from the cache too.
+    """
+    from repro.discriminators.training import DEFAULT_GENERATOR_SEED, DiscriminatorTrainer
+
+    cache = cache if cache is not None else default_cache()
+    generator_seed = generator.seed if generator is not None else DEFAULT_GENERATOR_SEED
+    key = "-".join(
+        [
+            config.architecture,
+            config.real_source,
+            f"n{config.n_train}",
+            f"s{config.seed}",
+            f"g{generator_seed}",
+            dataset_digest(dataset),
+            variants_fingerprint(light, heavy, dataset.name),
+        ]
+    )
+    return cache.memoize(
+        TRAINING_KIND,
+        key,
+        lambda: DiscriminatorTrainer(dataset, light, heavy, generator=generator).train(config),
+    )
+
+
+def cached_default_discriminator(
+    dataset,
+    light,
+    heavy,
+    *,
+    seed: int = 0,
+    n_train: int = 600,
+    cache: Optional[ArtifactCache] = None,
+):
+    """Train (or fetch from cache) the paper's default discriminator."""
+    from repro.discriminators.training import train_default_discriminator
+
+    cache = cache if cache is not None else default_cache()
+    key = "-".join(
+        [
+            f"default-n{n_train}",
+            f"s{seed}",
+            dataset_digest(dataset),
+            variants_fingerprint(light, heavy, dataset.name),
+        ]
+    )
+    return cache.memoize(
+        DISCRIMINATOR_KIND,
+        key,
+        lambda: train_default_discriminator(dataset, light, heavy, seed=seed, n_train=n_train),
+    )

@@ -1,0 +1,194 @@
+"""Content-addressed disk cache for expensive experiment artifacts.
+
+Artifacts (loaded datasets, trained discriminators, per-cell result
+summaries) are pickled under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``), namespaced by artifact kind and keyed by the caller's
+content hash.  Writes are atomic (temp file + ``os.replace``) so concurrent
+worker processes can share one cache directory; corrupt or unreadable entries
+are treated as misses and overwritten.
+
+Set ``REPRO_CACHE=0`` to disable caching entirely (every lookup misses and
+nothing is written), e.g. to force CI to re-simulate from scratch.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional
+
+_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+_CACHE_TOGGLE_ENV = "REPRO_CACHE"
+
+#: Directory-layout version; bump on incompatible layout changes.
+_LAYOUT = "v1"
+
+_MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """Cache root from ``$REPRO_CACHE_DIR``, defaulting to ``~/.cache/repro``."""
+    env = os.environ.get(_CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_enabled_by_env() -> bool:
+    """Whether ``$REPRO_CACHE`` permits caching (default yes)."""
+    return os.environ.get(_CACHE_TOGGLE_ENV, "1").lower() not in ("0", "false", "no", "off")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ArtifactCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for logs and tables)."""
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts, "errors": self.errors}
+
+
+@dataclass
+class ArtifactCache:
+    """A pickle-on-disk artifact store keyed by ``(kind, key)``.
+
+    Parameters
+    ----------
+    root:
+        Cache root directory (``None`` resolves via :func:`default_cache_dir`).
+    enabled:
+        When ``False`` every ``get`` misses and ``put`` is a no-op, which
+        keeps call sites branch-free.
+    """
+
+    root: Optional[Path] = None
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.root is None:
+            self.root = default_cache_dir()
+        self.root = Path(self.root)
+        if not cache_enabled_by_env():
+            self.enabled = False
+
+    # --------------------------------------------------------------- layout
+    def path_for(self, kind: str, key: str) -> Path:
+        """Path of the entry for ``(kind, key)``."""
+        if not key or "/" in key or key.startswith("."):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.root / _LAYOUT / kind / f"{key}.pkl"
+
+    # ------------------------------------------------------------ get / put
+    def get(self, kind: str, key: str, default: Any = None) -> Any:
+        """Stored value, or ``default`` on a miss (corrupt entries miss too)."""
+        value = self._load(kind, key)
+        if value is _MISS:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Whether a readable entry exists (does not touch hit/miss stats)."""
+        return self._load(kind, key) is not _MISS
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        """Atomically store ``value``; failures disable nothing, just count."""
+        if not self.enabled:
+            return
+        path = self.path_for(kind, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{key}-", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self.stats.puts += 1
+        except (OSError, pickle.PicklingError):
+            self.stats.errors += 1
+
+    def memoize(self, kind: str, key: str, fn: Callable[[], Any]) -> Any:
+        """``get`` or compute-and-``put`` the value for ``(kind, key)``."""
+        value = self.get(kind, key, default=_MISS)
+        if value is not _MISS:
+            return value
+        value = fn()
+        self.put(kind, key, value)
+        return value
+
+    def _load(self, kind: str, key: str) -> Any:
+        if not self.enabled:
+            return _MISS
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return _MISS
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            # Corrupt or stale entry (e.g. written by an incompatible code
+            # version): treat as a miss so it gets recomputed and replaced.
+            self.stats.errors += 1
+            return _MISS
+
+    # -------------------------------------------------------------- hygiene
+    def entries(self, kind: Optional[str] = None) -> Iterable[Path]:
+        """Paths of all stored entries (of one kind if given)."""
+        base = self.root / _LAYOUT if kind is None else self.root / _LAYOUT / kind
+        if not base.exists():
+            return []
+        return sorted(base.rglob("*.pkl"))
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete all entries (of one kind if given); returns how many."""
+        removed = 0
+        if kind is None:
+            base = self.root / _LAYOUT
+            if base.exists():
+                removed = sum(1 for _ in base.rglob("*.pkl"))
+                shutil.rmtree(base, ignore_errors=True)
+            return removed
+        for path in self.entries(kind):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+_DEFAULT_CACHE: Optional[ArtifactCache] = None
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide cache (root and toggle resolved from the environment).
+
+    Re-resolves whenever the environment-selected root changes, so tests can
+    point ``REPRO_CACHE_DIR`` at a temporary directory per test.
+    """
+    global _DEFAULT_CACHE
+    root = default_cache_dir()
+    if (
+        _DEFAULT_CACHE is None
+        or _DEFAULT_CACHE.root != root
+        or _DEFAULT_CACHE.enabled != cache_enabled_by_env()
+    ):
+        _DEFAULT_CACHE = ArtifactCache(root=root)
+    return _DEFAULT_CACHE

@@ -1,0 +1,266 @@
+"""Declarative experiment specifications with deterministic content hashes.
+
+An :class:`ExperimentSpec` names everything that determines the outcome of one
+grid cell — the cascade, the experiment scale, the systems compared, the
+workload trace, and any per-system parameter overrides.  Two specs with equal
+fields produce equal :attr:`ExperimentSpec.content_hash` values across
+processes and machines (the hash is derived from a canonical token string via
+SHA-256, never from Python's randomised ``hash``), which is what makes the
+disk cache shareable between CI jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.experiments.harness import ExperimentScale
+
+#: Bump when the meaning of cached artifacts changes (training pipeline,
+#: simulator semantics, summary schema, ...) to invalidate every old entry.
+CACHE_SCHEMA_VERSION = 1
+
+#: The standard five-system comparison run by most figures.
+DEFAULT_SYSTEMS: Tuple[str, ...] = (
+    "clipper-light",
+    "clipper-heavy",
+    "proteus",
+    "diffserve-static",
+    "diffserve",
+)
+
+#: Parameter keys a spec may override (forwarded to the system builders).
+ALLOWED_PARAMS = ("slo", "over_provision", "policy_variant", "static_threshold")
+
+ParamValue = Union[str, int, float, bool, None]
+
+
+def _canon_token(value: ParamValue) -> str:
+    """Canonical, process-independent string form of a primitive value."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return repr(value)
+    if isinstance(value, float):
+        # repr() of a float is exact (shortest round-trip) in Python >= 3.1.
+        return repr(value)
+    raise TypeError(f"unsupported spec value {value!r} of type {type(value).__name__}")
+
+
+def _sha256(token: str) -> str:
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+def variants_fingerprint(light, heavy, dataset: str, slo: Optional[float] = None) -> str:
+    """Hash of everything the synthetic substrate contributes to a result.
+
+    Cache entries must be invalidated when the model zoo is recalibrated or
+    the feature space changes, even though the *spec* (which is declarative)
+    stays identical.  The fingerprint therefore folds in the variant
+    definitions and the generation constants.
+    """
+    from repro.models.difficulty import COCO_DIFFICULTY, DIFFUSIONDB_DIFFICULTY
+    from repro.models.generation import FEATURE_DIM
+
+    token = "|".join(
+        [
+            f"schema={CACHE_SCHEMA_VERSION}",
+            repr(light),
+            repr(heavy),
+            f"slo={slo!r}",
+            f"dataset={dataset}",
+            f"feature_dim={FEATURE_DIM}",
+            repr(COCO_DIFFICULTY),
+            repr(DIFFUSIONDB_DIFFICULTY),
+        ]
+    )
+    return _sha256(token)[:16]
+
+
+def substrate_fingerprint(cascade_name: str) -> str:
+    """:func:`variants_fingerprint` of a named cascade."""
+    from repro.models.zoo import get_cascade
+
+    cascade = get_cascade(cascade_name)
+    return variants_fingerprint(cascade.light, cascade.heavy, cascade.dataset, slo=cascade.slo)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Workload trace of a grid cell.
+
+    ``kind="azure"`` replays the diurnal Azure-Functions-like curve at the
+    cascade's default QPS range; ``kind="static"`` replays a constant-rate
+    trace at ``qps``.  ``seed`` overrides the arrival-sampling seed (defaults
+    to the experiment scale's seed).
+    """
+
+    kind: str = "azure"
+    qps: Optional[float] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("azure", "static"):
+            raise ValueError(f"unknown trace kind {self.kind!r}; expected 'azure' or 'static'")
+        if self.kind == "static" and (self.qps is None or self.qps <= 0):
+            raise ValueError("static traces require a positive qps")
+
+    def token(self) -> str:
+        """Canonical hash token."""
+        return f"trace({self.kind},{_canon_token(self.qps)},{_canon_token(self.seed)})"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of an experiment grid.
+
+    Attributes
+    ----------
+    cascade:
+        Cascade name (``sdturbo`` / ``sdxs`` / ``sdxlltn``).
+    scale:
+        Experiment scale (dataset size, trace duration, cluster size, seed).
+    systems:
+        Systems compared in this cell, in execution order.
+    trace:
+        Workload trace description.
+    peak_provision_factor:
+        Fraction of the trace peak that DiffServe-Static is provisioned for.
+    params:
+        Sorted ``(key, value)`` pairs forwarded to the system builders
+        (see :data:`ALLOWED_PARAMS`).  Kept as a tuple so specs stay hashable.
+    """
+
+    cascade: str
+    scale: ExperimentScale
+    systems: Tuple[str, ...] = DEFAULT_SYSTEMS
+    trace: TraceSpec = field(default_factory=TraceSpec)
+    peak_provision_factor: float = 0.8
+    params: Tuple[Tuple[str, ParamValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.systems:
+            raise ValueError("a spec must compare at least one system")
+        object.__setattr__(self, "systems", tuple(self.systems))
+        seen = set()
+        for key, value in self.params:
+            if key not in ALLOWED_PARAMS:
+                raise ValueError(f"unknown param {key!r}; allowed: {ALLOWED_PARAMS}")
+            if key in seen:
+                raise ValueError(f"duplicate param {key!r}")
+            seen.add(key)
+            _canon_token(value)  # raises on unsupported types
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    # ------------------------------------------------------------- builders
+    def with_params(self, **params: ParamValue) -> "ExperimentSpec":
+        """A copy with additional/overridden builder params."""
+        merged = dict(self.params)
+        merged.update(params)
+        return replace(self, params=tuple(sorted(merged.items())))
+
+    def params_dict(self) -> Dict[str, ParamValue]:
+        """The params as a plain dict."""
+        return dict(self.params)
+
+    # ------------------------------------------------------------- identity
+    def token(self) -> str:
+        """Canonical token string the content hash is derived from."""
+        scale = self.scale
+        parts = [
+            f"schema={CACHE_SCHEMA_VERSION}",
+            f"cascade={self.cascade}",
+            f"scale({scale.dataset_size},{_canon_token(scale.trace_duration)},"
+            f"{scale.num_workers},{scale.seed})",
+            "systems(" + ",".join(self.systems) + ")",
+            self.trace.token(),
+            f"peak={_canon_token(self.peak_provision_factor)}",
+            "params(" + ",".join(f"{k}={_canon_token(v)}" for k, v in self.params) + ")",
+        ]
+        return "|".join(parts)
+
+    @property
+    def content_hash(self) -> str:
+        """Deterministic SHA-256 hex digest of the spec."""
+        return _sha256(self.token())
+
+    @property
+    def cache_key(self) -> str:
+        """Cache key: content hash plus the substrate fingerprint."""
+        return f"{self.content_hash[:32]}-{substrate_fingerprint(self.cascade)}"
+
+    @property
+    def label(self) -> str:
+        """Short human-readable cell label for tables and logs."""
+        bits = [self.cascade, f"seed{self.scale.seed}"]
+        if self.trace.kind == "static":
+            bits.append(f"static{self.trace.qps:g}qps")
+        bits.extend(f"{k}={v}" for k, v in self.params)
+        return "/".join(bits)
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """An ordered collection of grid cells."""
+
+    specs: Tuple[ExperimentSpec, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __getitem__(self, index: int) -> ExperimentSpec:
+        return self.specs[index]
+
+    @property
+    def content_hash(self) -> str:
+        """Hash of the whole grid (order-sensitive)."""
+        return _sha256("\n".join(spec.token() for spec in self.specs))
+
+    @classmethod
+    def product(
+        cls,
+        *,
+        cascades: Sequence[str] = ("sdturbo",),
+        scales: Optional[Sequence[ExperimentScale]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        systems: Sequence[str] = DEFAULT_SYSTEMS,
+        traces: Sequence[TraceSpec] = (TraceSpec(),),
+        params_list: Sequence[Dict[str, ParamValue]] = ({},),
+        peak_provision_factor: float = 0.8,
+        base_scale: Optional[ExperimentScale] = None,
+    ) -> "ExperimentGrid":
+        """Cross product of cascades x scales (or seeds) x traces x params.
+
+        Either pass explicit ``scales`` or a ``base_scale`` plus ``seeds`` to
+        vary only the seed.
+        """
+        if scales is None:
+            base = base_scale if base_scale is not None else ExperimentScale()
+            scales = [replace(base, seed=s) for s in (seeds if seeds is not None else [base.seed])]
+        elif seeds is not None:
+            raise ValueError("pass either scales or seeds, not both")
+        specs = [
+            ExperimentSpec(
+                cascade=cascade,
+                scale=scale,
+                systems=tuple(systems),
+                trace=trace,
+                peak_provision_factor=peak_provision_factor,
+                params=tuple(sorted(params.items())),
+            )
+            for cascade in cascades
+            for scale in scales
+            for trace in traces
+            for params in params_list
+        ]
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def of(cls, specs: Iterable[ExperimentSpec]) -> "ExperimentGrid":
+        """Grid from an explicit spec list."""
+        return cls(specs=tuple(specs))

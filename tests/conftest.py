@@ -4,7 +4,6 @@ Expensive artifacts (dataset, trained discriminator, deferral profile) are
 session-scoped so the suite stays fast.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.allocator import DiffServeAllocator

@@ -1,6 +1,5 @@
 """Tests for the DiffServe MILP allocator and allocation policies."""
 
-import numpy as np
 import pytest
 
 from repro.core.allocator import AllocationPlan, ControlContext, DiffServeAllocator

@@ -7,7 +7,9 @@ from repro.experiments.harness import ExperimentScale
 
 
 def test_every_registered_experiment_has_description_and_runner():
-    assert set(cli.EXPERIMENTS) >= {"fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "milp", "reuse"}
+    assert set(cli.EXPERIMENTS) >= {
+        "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "milp", "reuse",
+    }
     for name, (description, runner) in cli.EXPERIMENTS.items():
         assert isinstance(description, str) and description
         assert callable(runner)
@@ -59,3 +61,50 @@ def test_main_all_runs_every_runner(monkeypatch, capsys):
         )
     assert cli.main(["all", "--fast"]) == 0
     assert sorted(ran) == sorted(cli.EXPERIMENTS)
+
+
+# ------------------------------------------------------------------ grid runner
+TINY_ARGS = ["--dataset-size", "60", "--duration", "10", "--workers", "2"]
+
+
+def test_parse_grid_cross_product():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    grid = cli.parse_grid("cascades=sdturbo,sdxs;seeds=0,1;qps=4,8;systems=diffserve", scale)
+    assert len(grid) == 8
+    assert {spec.scale.seed for spec in grid} == {0, 1}
+    assert all(spec.systems == ("diffserve",) for spec in grid)
+
+
+def test_parse_grid_rejects_unknown_keys_and_malformed_fields():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    with pytest.raises(ValueError):
+        cli.parse_grid("cascadez=sdturbo", scale)
+    with pytest.raises(ValueError):
+        cli.parse_grid("cascades", scale)
+
+
+def test_run_command_executes_and_caches(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    argv = ["run", "--grid", "cascades=sdturbo;qps=4;systems=diffserve", "--jobs", "1"] + TINY_ARGS
+    assert cli.main(argv + ["--json", str(tmp_path / "a.json")]) == 0
+    out = capsys.readouterr().out
+    assert "cells=1 ok=1 cached=0" in out
+
+    assert cli.main(argv + ["--json", str(tmp_path / "b.json")]) == 0
+    out = capsys.readouterr().out
+    assert "cells=1 ok=0 cached=1" in out
+    assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()
+
+
+def test_run_command_reports_failed_cells_with_nonzero_exit(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    argv = ["run", "--grid", "cascades=nope;qps=4;systems=diffserve", "--jobs", "1"] + TINY_ARGS
+    assert cli.main(argv) == 1
+    captured = capsys.readouterr()
+    assert "failed=1" in captured.out
+    assert "nope" in captured.err
+
+
+def test_run_command_rejects_bad_grid_spec(capsys):
+    assert cli.main(["run", "--grid", "wat=1"]) == 2
+    assert "unknown grid keys" in capsys.readouterr().err

@@ -1,7 +1,6 @@
 """Tests for core building blocks: queries, demand estimation, queueing models,
 repository and configuration."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import RoutingMode, SystemConfig

@@ -5,7 +5,6 @@ import pytest
 
 from repro.discriminators.deferral import DeferralProfile
 from repro.discriminators.training import DiscriminatorTrainer, TrainingConfig
-from repro.models.generation import ImageGenerator
 
 
 def test_training_config_validation():

@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.discriminators.architectures import (
-    ARCHITECTURES,
-    ArchitectureSpec,
-    TrainedDiscriminator,
-    get_architecture,
-)
+from repro.discriminators.architectures import ARCHITECTURES, ArchitectureSpec, get_architecture
 from repro.discriminators.classifiers import LogisticClassifier, MLPClassifier
 from repro.discriminators.heuristics import (
     ClipScoreDiscriminator,

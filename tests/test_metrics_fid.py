@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.metrics.fid import fid_from_images, fid_score, frechet_distance, windowed_fid
-from repro.models.generation import ImageGenerator
-from repro.models.zoo import get_variant
 
 
 def test_identical_distributions_give_near_zero_fid():

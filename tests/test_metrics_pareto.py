@@ -1,6 +1,5 @@
 """Tests for Pareto-frontier utilities."""
 
-import pytest
 
 from repro.metrics.pareto import ParetoPoint, hypervolume_2d, is_pareto_dominated, pareto_frontier
 

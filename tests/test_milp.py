@@ -5,7 +5,7 @@ import pytest
 
 from repro.milp.branch_and_bound import BranchAndBoundSolver
 from repro.milp.exhaustive import ExhaustiveSolver
-from repro.milp.problem import MILPProblem, Sense, VarType, Variable
+from repro.milp.problem import MILPProblem, Variable
 from repro.milp.solution import SolveStatus
 
 

@@ -1,0 +1,207 @@
+"""Tests for the parallel experiment runner and its artifact cache."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.harness import ExperimentScale
+from repro.runner.cache import ArtifactCache
+from repro.runner.executor import SUMMARY_KIND, canonical_summaries_json, run_grid
+from repro.runner.spec import ExperimentGrid, ExperimentSpec, TraceSpec, substrate_fingerprint
+
+#: Cheapest legal scale: every runner test simulates at most a few seconds.
+TINY = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        cascade="sdturbo",
+        scale=TINY,
+        systems=("diffserve",),
+        trace=TraceSpec(kind="static", qps=4.0),
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+# ------------------------------------------------------------------- spec hash
+def test_spec_hash_is_deterministic_and_sensitive():
+    a = tiny_spec()
+    b = tiny_spec()
+    assert a.content_hash == b.content_hash
+    assert a.cache_key == b.cache_key
+
+    changed_seed = tiny_spec(scale=ExperimentScale(60, 10.0, 2, seed=1))
+    changed_size = tiny_spec(scale=ExperimentScale(80, 10.0, 2, seed=0))
+    changed_qps = tiny_spec(trace=TraceSpec(kind="static", qps=8.0))
+    changed_params = tiny_spec().with_params(slo=3.0)
+    hashes = {s.content_hash for s in (a, changed_seed, changed_size, changed_qps, changed_params)}
+    assert len(hashes) == 5
+
+
+def test_spec_validation_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        tiny_spec(systems=())
+    with pytest.raises(ValueError):
+        tiny_spec(params=(("not-a-knob", 1),))
+    with pytest.raises(ValueError):
+        TraceSpec(kind="static", qps=None)
+    with pytest.raises(ValueError):
+        TraceSpec(kind="weird")
+
+
+def test_substrate_fingerprint_tracks_zoo_calibration():
+    before = substrate_fingerprint("sdturbo")
+    assert before == substrate_fingerprint("sdturbo")
+    assert before != substrate_fingerprint("sdxs")
+
+
+def test_grid_product_and_hash():
+    grid = ExperimentGrid.product(
+        cascades=("sdturbo",),
+        base_scale=TINY,
+        seeds=(0, 1),
+        systems=("diffserve",),
+        traces=(TraceSpec(kind="static", qps=4.0), TraceSpec(kind="static", qps=8.0)),
+    )
+    assert len(grid) == 4
+    assert len({spec.content_hash for spec in grid}) == 4
+    assert grid.content_hash == ExperimentGrid.of(list(grid)).content_hash
+
+
+# ----------------------------------------------------------------------- cache
+def test_cache_put_get_roundtrip_and_stats(tmp_path):
+    cache = ArtifactCache(root=tmp_path)
+    assert cache.get("kind", "k") is None
+    cache.put("kind", "k", {"x": 1.5})
+    assert cache.get("kind", "k") == {"x": 1.5}
+    assert cache.stats.hits == 1 and cache.stats.misses == 1 and cache.stats.puts == 1
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ArtifactCache(root=tmp_path)
+    cache.put("kind", "k", [1, 2, 3])
+    cache.path_for("kind", "k").write_bytes(b"not a pickle")
+    assert cache.get("kind", "k", default="fallback") == "fallback"
+    assert cache.stats.errors == 1
+    # memoize recomputes and repairs the entry
+    assert cache.memoize("kind", "k", lambda: [4, 5]) == [4, 5]
+    with open(cache.path_for("kind", "k"), "rb") as handle:
+        assert pickle.load(handle) == [4, 5]
+
+
+def test_cache_disabled_never_touches_disk(tmp_path):
+    cache = ArtifactCache(root=tmp_path, enabled=False)
+    cache.put("kind", "k", 1)
+    assert cache.get("kind", "k") is None
+    assert list(cache.entries()) == []
+
+
+def test_cache_rejects_path_traversal_keys(tmp_path):
+    cache = ArtifactCache(root=tmp_path)
+    for bad in ("", "a/b", ".sneaky"):
+        with pytest.raises(ValueError):
+            cache.path_for("kind", bad)
+
+
+def test_cache_clear_by_kind(tmp_path):
+    cache = ArtifactCache(root=tmp_path)
+    cache.put("a", "k1", 1)
+    cache.put("a", "k2", 2)
+    cache.put("b", "k1", 3)
+    assert cache.clear("a") == 2
+    assert cache.get("b", "k1") == 3
+    assert cache.clear() == 1
+
+
+# ------------------------------------------------------------------- execution
+def grid_2x2():
+    return ExperimentGrid.product(
+        cascades=("sdturbo",),
+        base_scale=TINY,
+        seeds=(0, 1),
+        systems=("diffserve",),
+        traces=(TraceSpec(kind="static", qps=4.0), TraceSpec(kind="static", qps=8.0)),
+    )
+
+
+def test_parallel_equals_serial_byte_identical(tmp_path):
+    grid = grid_2x2()
+    serial = run_grid(grid, jobs=1, cache=ArtifactCache(root=tmp_path / "serial"))
+    parallel = run_grid(grid, jobs=2, cache=ArtifactCache(root=tmp_path / "parallel"))
+    assert serial.ok and parallel.ok
+    assert parallel.cached_count == 0
+    for s_cell, p_cell in zip(serial.cells, parallel.cells):
+        assert s_cell.status == "ok" and p_cell.status == "ok"
+        assert canonical_summaries_json(s_cell.summaries) == canonical_summaries_json(
+            p_cell.summaries
+        )
+
+
+def test_second_run_is_fully_cached_without_simulation(tmp_path, monkeypatch):
+    grid = ExperimentGrid.of([tiny_spec()])
+    cache = ArtifactCache(root=tmp_path)
+    first = run_grid(grid, jobs=1, cache=cache)
+    assert first.ok and first.cached_count == 0
+
+    # A cache hit must never reach the simulation layer.
+    import repro.runner.executor as executor
+
+    def boom(*args, **kwargs):
+        raise AssertionError("simulation ran despite a cached summary")
+
+    monkeypatch.setattr(executor, "run_cell", boom)
+    second = run_grid(grid, jobs=1, cache=ArtifactCache(root=tmp_path))
+    assert second.ok
+    assert second.cached_count == len(grid)
+    assert canonical_summaries_json(second.cells[0].summaries) == canonical_summaries_json(
+        first.cells[0].summaries
+    )
+
+
+def test_cache_key_misses_on_changed_seed_or_scale(tmp_path):
+    cache = ArtifactCache(root=tmp_path)
+    run_grid(ExperimentGrid.of([tiny_spec()]), jobs=1, cache=cache)
+    changed = ExperimentGrid.of([tiny_spec(scale=ExperimentScale(60, 10.0, 2, seed=7))])
+    report = run_grid(changed, jobs=1, cache=ArtifactCache(root=tmp_path))
+    assert report.cached_count == 0 and report.ok
+
+
+def test_failing_cell_is_isolated_serial_and_parallel(tmp_path):
+    good = tiny_spec()
+    bad_system = tiny_spec(systems=("no-such-system",))
+    grid = ExperimentGrid.of([bad_system, good])
+    for jobs in (1, 2):
+        report = run_grid(grid, jobs=jobs, cache=ArtifactCache(root=tmp_path / f"j{jobs}"))
+        assert not report.ok
+        assert report.cells[0].status == "error"
+        assert "no-such-system" in report.cells[0].error
+        assert report.cells[1].ok
+
+
+def test_unknown_cascade_fails_without_crashing_the_grid(tmp_path):
+    grid = ExperimentGrid.of([tiny_spec(cascade="not-a-cascade"), tiny_spec()])
+    report = run_grid(grid, jobs=1, cache=ArtifactCache(root=tmp_path))
+    assert report.cells[0].status == "error"
+    assert report.cells[1].ok
+
+
+def test_use_cache_false_bypasses_existing_entries(tmp_path):
+    cache = ArtifactCache(root=tmp_path)
+    spec = tiny_spec()
+    cache.put(SUMMARY_KIND, spec.cache_key, {"diffserve": {"fid": -1.0}})
+    report = run_grid(ExperimentGrid.of([spec]), jobs=1, cache=cache, use_cache=False)
+    assert report.ok
+    assert report.cells[0].status == "ok"
+    assert report.cells[0].summaries["diffserve"]["fid"] != -1.0
+
+
+def test_cell_timeout_reports_timeout_cells(tmp_path):
+    report = run_grid(
+        ExperimentGrid.of([tiny_spec()]),
+        jobs=2,
+        cache=ArtifactCache(root=tmp_path),
+        cell_timeout=0.01,
+    )
+    assert not report.ok
+    assert report.cells[0].status == "timeout"

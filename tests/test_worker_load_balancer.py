@@ -1,6 +1,5 @@
 """Tests for the Worker and LoadBalancer actors."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import RoutingMode
@@ -34,7 +33,9 @@ def make_worker(sim, variant_name="sd-turbo", **kwargs):
 def test_worker_executes_single_query_and_reports_completion():
     sim = Simulator(seed=0)
     completions = []
-    worker = make_worker(sim, on_complete=lambda item, img, conf: completions.append((item, img, conf)))
+    worker = make_worker(
+        sim, on_complete=lambda item, img, conf: completions.append((item, img, conf))
+    )
     worker.enqueue(WorkItem(query=make_query(), stage="light", enqueue_time=0.0))
     sim.run(until=10.0)
     assert len(completions) == 1
