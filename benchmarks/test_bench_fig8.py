@@ -1,9 +1,11 @@
 """Benchmark E8 — Figure 8: resource-allocation ablation.
 
-Paper shape asserted: the full DiffServe allocation keeps SLO violations below
-the AIMD-batching and static-threshold variants, and the "no queueing model"
-variant loses significant quality because the 2x-execution heuristic rules the
-heavyweight model out of the latency budget.
+Paper shape asserted: the full DiffServe allocation dominates the ablation
+set — it has the best quality while keeping SLO violations low; pinning the
+confidence threshold suffers elevated violations at the peak; AIMD batching
+reacts only after violations occur and over-provisions, paying in quality;
+and the "no queueing model" variant loses significant quality because the
+2x-execution heuristic rules the heavyweight model out of the latency budget.
 """
 
 from repro.experiments.fig8_allocation_ablation import run_fig8
@@ -16,10 +18,15 @@ def test_bench_fig8(benchmark, bench_scale):
     fid = {name: result.fid(name) for name in result.results}
     viol = {name: result.violation(name) for name in result.results}
 
-    # Full DiffServe has the lowest violation ratio of the ablation set.
-    assert viol["diffserve"] <= viol["aimd"] + 0.01
-    assert viol["diffserve"] <= viol["static-threshold"] + 0.01
-    assert viol["diffserve"] < 0.10
+    # Full DiffServe keeps violations low with the best quality of the set.
+    assert viol["diffserve"] < 0.05
+    assert fid["diffserve"] == min(fid.values())
+
+    # The pinned threshold cannot adapt and violates its SLO far more often.
+    assert viol["static-threshold"] > 2.0 * viol["diffserve"]
+
+    # AIMD batching over-provisions conservatively and pays for it in quality.
+    assert fid["aimd"] > fid["diffserve"] + 0.5
 
     # Dropping the queueing model costs quality (paper: up to 12% worse FID).
     assert fid["no-queuing-model"] > fid["diffserve"] + 0.5

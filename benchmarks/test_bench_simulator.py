@@ -1,0 +1,67 @@
+"""Benchmark — raw simulator event throughput (events/sec).
+
+Long bursty traces (MMPP, flash crowds, trace replay) hammer the simulator
+hot path: slotted :class:`Event` allocation, heap push/pop, and the lazy
+compaction of cancelled events.  This module tracks that path directly so
+hot-path regressions show up as an events/sec drop rather than as a slow
+figure suite.
+"""
+
+from repro.simulator.events import EventQueue
+from repro.simulator.simulation import Simulator
+
+#: Events per benchmark round — large enough to dominate fixed costs, small
+#: enough that the bench-smoke job stays fast.
+N_EVENTS = 50_000
+
+
+def _drive_chain(n_events: int) -> int:
+    """Fire a self-rescheduling event chain (the control-loop pattern)."""
+    sim = Simulator(seed=0)
+    fired = {"n": 0}
+
+    def tick() -> None:
+        fired["n"] += 1
+        if fired["n"] < n_events:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.001, tick)
+    sim.run()
+    return fired["n"]
+
+
+def test_bench_simulator_events_per_sec(benchmark):
+    fired = benchmark(_drive_chain, N_EVENTS)
+    assert fired == N_EVENTS
+    if benchmark.stats:
+        mean = benchmark.stats["mean"]
+        benchmark.extra_info["events_per_sec"] = N_EVENTS / mean if mean else None
+
+
+def _cancel_heavy_round() -> tuple:
+    """Push a big wave of events, cancel 90%, then drain the rest.
+
+    Mirrors drop/reconfiguration-heavy scenarios where most scheduled work is
+    cancelled before it fires.  Returns (fired, max physical heap size seen
+    after the cancellation wave, live count at that point).
+    """
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(N_EVENTS)]
+    for index, event in enumerate(events):
+        if index % 10:  # cancel 9 out of every 10
+            q.cancel(event)
+    heap_after_cancel = len(q._heap)
+    live_after_cancel = len(q)
+    fired = 0
+    while q:
+        q.pop().fire()
+        fired += 1
+    return fired, heap_after_cancel, live_after_cancel
+
+
+def test_bench_event_queue_cancel_heavy(benchmark):
+    fired, heap_after_cancel, live_after_cancel = benchmark(_cancel_heavy_round)
+    assert fired == live_after_cancel == N_EVENTS // 10
+    # Lazy compaction bounds the heap at ~2x the live events; without it the
+    # heap would still hold all N_EVENTS entries here.
+    assert heap_after_cancel <= 2 * live_after_cancel + 64

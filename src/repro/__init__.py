@@ -12,20 +12,19 @@ The package is organised as:
 * :mod:`repro.core` — the DiffServe serving system (workers, load balancer,
   controller, MILP resource allocator).
 * :mod:`repro.baselines` — Clipper, Proteus and DiffServe-Static.
-* :mod:`repro.traces` — synthetic and Azure-Functions-like workload traces.
+* :mod:`repro.traces` — rate curves and concrete arrival traces.
+* :mod:`repro.workloads` — the arrival-process scenario engine (Poisson,
+  MMPP, diurnal, flash crowd, trace replay) behind one ``ArrivalProcess`` API.
 * :mod:`repro.experiments` — one runner per paper figure/table.
 
 Quickstart::
 
     from repro import build_diffserve_system
-    from repro.traces import azure_functions_like_rate
-    from repro.traces.base import ArrivalTrace
-    import numpy as np
+    from repro.workloads import make_workload
 
     system = build_diffserve_system("sdturbo", num_workers=16)
-    curve = azure_functions_like_rate(4, 32, duration=120)
-    trace = ArrivalTrace.from_rate_curve(curve, np.random.default_rng(0))
-    result = system.run(trace)
+    workload = make_workload("mmpp", duration=120.0, qps=16.0)
+    result = system.run(workload)  # sampled from the simulator's own streams
     print(result.summary())
 """
 

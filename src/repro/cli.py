@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli fig5 --dataset-size 500 --duration 240
     python -m repro.cli all --fast
     python -m repro.cli run --grid "cascades=sdturbo;seeds=0,1" --jobs 4
+    python -m repro.cli run --workload mmpp,flash-crowd --workload-params "burst_factor=6"
 
 Each experiment prints the same table its ``repro.experiments`` module's
 ``main()`` renders; ``all`` runs the full suite in order.  ``run`` executes an
@@ -77,9 +78,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="cascades=sdturbo",
         help=(
             "grid spec as ';'-separated key=value pairs; keys: cascades (comma-"
-            "separated), seeds (comma-separated ints), qps (static-trace rates; "
-            "omit for the Azure-like trace), slos (SLO sweep), systems "
+            "separated), seeds (comma-separated ints), qps (nominal mean rates; "
+            "omit for each workload's cascade default), slos (SLO sweep), "
+            "workloads (comma-separated scenario kinds, see --workload), systems "
             "('+'-separated subset of the five systems)"
+        ),
+    )
+    runner.add_argument(
+        "--workload",
+        default=None,
+        help=(
+            "workload scenario kind(s), comma-separated: static, mmpp, diurnal, "
+            "flash-crowd, azure.  Adds a workload axis to the grid (overrides a "
+            "'workloads=' grid key)"
+        ),
+    )
+    runner.add_argument(
+        "--workload-params",
+        default=None,
+        help=(
+            "comma-separated key=value floats forwarded to the workload catalog, "
+            "e.g. 'burst_factor=6,dwell_burst=5' for mmpp"
         ),
     )
     runner.add_argument("--jobs", type=int, default=1, help="worker processes for 'run'")
@@ -125,13 +144,43 @@ def list_experiments() -> str:
     return text
 
 
-def parse_grid(text: str, scale: ExperimentScale):
+def parse_workload_params(text: Optional[str]) -> Dict[str, float]:
+    """Parse a ``--workload-params`` string (comma-separated ``key=value`` floats)."""
+    params: Dict[str, float] = {}
+    for part in (text or "").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or not value:
+            raise ValueError(f"malformed workload param {part!r}; expected key=value")
+        key = key.strip()
+        if key in params:
+            raise ValueError(f"duplicate workload param {key!r}")
+        try:
+            params[key] = float(value)
+        except ValueError:
+            raise ValueError(f"workload param {key!r} must be a number, got {value!r}")
+    return params
+
+
+def parse_grid(
+    text: str,
+    scale: ExperimentScale,
+    *,
+    workloads: Optional[str] = None,
+    workload_params: Optional[str] = None,
+):
     """Build an :class:`~repro.runner.spec.ExperimentGrid` from a ``--grid`` spec.
 
     The spec is ``;``-separated ``key=value`` pairs; the grid is the cross
     product of every axis given.  Example::
 
-        cascades=sdturbo,sdxs;seeds=0,1;qps=8,16;systems=proteus+diffserve
+        cascades=sdturbo,sdxs;seeds=0,1;qps=8,16;workloads=static,mmpp;systems=diffserve
+
+    ``workloads``/``workload_params`` (the ``--workload``/``--workload-params``
+    flags) override the ``workloads=`` grid key; each workload kind crossed
+    with each ``qps`` value (if any) becomes one trace axis entry.
     """
     from repro.runner.spec import DEFAULT_SYSTEMS, ExperimentGrid, TraceSpec
 
@@ -149,11 +198,39 @@ def parse_grid(text: str, scale: ExperimentScale):
     seeds = [int(s) for s in fields.pop("seeds", str(scale.seed)).split(",")]
     qps = [float(q) for q in fields.pop("qps", "").split(",") if q]
     slos = [float(s) for s in fields.pop("slos", "").split(",") if s]
+    kinds_text = workloads if workloads is not None else fields.pop("workloads", "")
+    fields.pop("workloads", None)
+    kinds = [w.strip() for w in kinds_text.split(",") if w.strip()]
     systems = tuple(s for s in fields.pop("systems", "").split("+") if s) or DEFAULT_SYSTEMS
     if fields:
         raise ValueError(f"unknown grid keys {sorted(fields)}")
 
-    traces = [TraceSpec(kind="static", qps=q) for q in qps] or [TraceSpec()]
+    from repro.workloads import WORKLOAD_PARAMS
+
+    wparams = parse_workload_params(workload_params)
+    if not kinds:
+        # Bare qps values keep their historical meaning: static Poisson traces.
+        kinds = ["static"] if qps else ["azure"]
+    # Each kind takes the subset of params it understands (one flag can feed a
+    # multi-workload sweep); a param no selected kind accepts is a user error.
+    orphans = sorted(
+        key
+        for key in wparams
+        if not any(key in WORKLOAD_PARAMS.get(kind, ()) for kind in kinds)
+    )
+    if orphans:
+        raise ValueError(f"workload params {orphans} apply to none of the workloads {kinds}")
+    traces = [
+        TraceSpec(
+            kind=kind,
+            qps=q,
+            params=tuple(
+                sorted((k, v) for k, v in wparams.items() if k in WORKLOAD_PARAMS.get(kind, ()))
+            ),
+        )
+        for kind in kinds
+        for q in (qps or [None])
+    ]
     params_list = [{"slo": s} for s in slos] or [{}]
     scales = [replace(scale, seed=s) for s in seeds]
     return ExperimentGrid.product(
@@ -173,7 +250,12 @@ def run_grid_command(args: argparse.Namespace) -> int:
 
     scale = scale_from_args(args)
     try:
-        grid = parse_grid(args.grid, scale)
+        grid = parse_grid(
+            args.grid,
+            scale,
+            workloads=args.workload,
+            workload_params=args.workload_params,
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

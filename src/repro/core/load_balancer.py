@@ -10,8 +10,9 @@ the Clipper baselines and the content-agnostic random split used by Proteus.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Deque, List, Optional
 
 
 from repro.core.config import RoutingMode
@@ -58,14 +59,22 @@ class LoadBalancer(Actor):
         routing: RoutingMode,
         threshold: float = 0.5,
         heavy_fraction: float = 0.0,
+        observation_window: float = 60.0,
         on_response: Optional[
             Callable[[Query, GeneratedImage, QueryStage, Optional[float], bool], None]
         ] = None,
         on_drop: Optional[Callable[[Query], None]] = None,
     ) -> None:
         super().__init__(sim, name="load-balancer")
+        if observation_window <= 0:
+            raise ValueError("observation_window must be positive")
         self.routing = routing
         self.threshold = threshold
+        #: How far back arrival timestamps are retained for
+        #: :meth:`arrivals_in_window`.  Timestamps older than this are pruned
+        #: on every arrival, so memory stays bounded by the window's arrival
+        #: count instead of growing linearly over the whole run.
+        self.observation_window = float(observation_window)
         #: Fraction of queries sent directly to the heavy pool under
         #: RANDOM_SPLIT routing (set by the Proteus-style controller).
         self.heavy_fraction = heavy_fraction
@@ -82,7 +91,7 @@ class LoadBalancer(Actor):
         self.heavy_pool: List[Worker] = []
         self.stats = LoadBalancerStats()
         self._rng = sim.rng.stream("load-balancer")
-        self._arrival_times: List[float] = []
+        self._arrival_times: Deque[float] = deque()
 
     # ----------------------------------------------------------- control path
     def set_threshold(self, threshold: float) -> None:
@@ -110,6 +119,7 @@ class LoadBalancer(Actor):
         """Entry point for client queries."""
         self.stats.arrivals += 1
         self._arrival_times.append(self.now)
+        self._prune_arrivals()
         if self.routing == RoutingMode.CASCADE:
             pool, stage = (
                 (self.light_pool, "light") if self.light_pool else (self.heavy_pool, "heavy")
@@ -197,10 +207,27 @@ class LoadBalancer(Actor):
             self.on_drop(query)
 
     # ------------------------------------------------------------- statistics
+    def _prune_arrivals(self) -> None:
+        """Drop arrival timestamps older than the observation window."""
+        cutoff = self.now - self.observation_window
+        arrivals = self._arrival_times
+        while arrivals and arrivals[0] < cutoff:
+            arrivals.popleft()
+
     def arrivals_in_window(self, window: float) -> int:
-        """Number of arrivals in the last ``window`` seconds."""
+        """Number of arrivals in the last ``window`` seconds.
+
+        Windows longer than :attr:`observation_window` see at most the
+        retained history (the controller's window is always within it).
+        """
+        self._prune_arrivals()
         cutoff = self.now - window
-        return sum(1 for t in self._arrival_times if t >= cutoff)
+        count = 0
+        for t in reversed(self._arrival_times):
+            if t < cutoff:
+                break
+            count += 1
+        return count
 
     def collect_stats(self) -> LoadBalancerStats:
         """Return and reset per-window statistics."""

@@ -17,9 +17,12 @@ class QueryStage(enum.Enum):
     DROPPED = "dropped"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Query:
     """A client query (text prompt) entering the system.
+
+    Queries are allocated once per arrival on the simulator hot path, so the
+    class is slotted to keep long bursty traces cheap in time and memory.
 
     Attributes
     ----------

@@ -35,10 +35,13 @@ class QueueingModel(abc.ABC):
 
 @dataclass
 class LittlesLawModel(QueueingModel):
-    """Little's law: ``W = L / lambda``, with a floor of one batch execution.
+    """Little's law: ``W = L / lambda``, floored at *half* a batch execution.
 
-    The floor accounts for the fact that even an empty queue may have to wait
-    for the in-flight batch to finish before a new query is picked up.
+    The floor accounts for the in-flight batch: even a query arriving at an
+    empty queue must wait for the batch currently executing, which on average
+    is halfway done — the same residual-service estimate the Load Balancer
+    uses for heavy-pool completion times (Section 3.3).  A full-batch floor
+    would double-count that residual and over-provision at low load.
     """
 
     min_rate: float = 1e-3

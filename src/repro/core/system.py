@@ -9,7 +9,7 @@ simulator, runs a workload trace through the system, and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 
 from repro.core.config import RoutingMode, SystemConfig
@@ -28,28 +28,44 @@ from repro.models.generation import ImageGenerator
 from repro.models.zoo import MODEL_ZOO
 from repro.simulator.simulation import Actor, Simulator
 from repro.traces.base import ArrivalTrace
+from repro.workloads.base import ArrivalProcess
+
+#: Anything that can drive the client source: a concrete trace or a workload
+#: scenario sampled at simulation start from the simulator's random streams.
+Workload = Union[ArrivalTrace, ArrivalProcess]
 
 
 class ClientSource(Actor):
-    """Replays an arrival trace as client queries against the Load Balancer."""
+    """Replays a workload as client queries against the Load Balancer.
+
+    Accepts either a concrete :class:`ArrivalTrace` (replayed as-is, so every
+    system in a comparison sees identical arrivals) or an
+    :class:`~repro.workloads.base.ArrivalProcess` (sampled deterministically
+    from the simulator's own random streams when the run starts).
+    """
 
     def __init__(
         self,
         sim: Simulator,
-        trace: ArrivalTrace,
+        workload: Workload,
         dataset: QueryDataset,
         load_balancer: LoadBalancer,
         slo: float,
     ) -> None:
         super().__init__(sim, name="client")
-        self.trace = trace
+        self.workload = workload
+        self.trace: Optional[ArrivalTrace] = (
+            workload if isinstance(workload, ArrivalTrace) else None
+        )
         self.dataset = dataset
         self.load_balancer = load_balancer
         self.slo = slo
         self.queries: List[Query] = []
 
     def start(self) -> None:
-        """Schedule every arrival in the trace."""
+        """Schedule every arrival in the workload."""
+        if self.trace is None:
+            self.trace = self.workload.sample(self.sim.rng)
         for query_id, arrival in enumerate(self.trace.arrival_times):
             query = Query(
                 query_id=query_id,
@@ -93,8 +109,12 @@ class ServingSimulation:
     initial_demand: float = 1.0
     name: str = "diffserve"
 
-    def run(self, trace: ArrivalTrace, *, duration: Optional[float] = None) -> SimulationResult:
-        """Run the trace through the system and collect results."""
+    def run(self, trace: Workload, *, duration: Optional[float] = None) -> SimulationResult:
+        """Run the workload through the system and collect results.
+
+        ``trace`` is either a concrete :class:`ArrivalTrace` or an
+        :class:`~repro.workloads.base.ArrivalProcess` sampled at start.
+        """
         sim = Simulator(seed=self.config.seed)
         generator = ImageGenerator(seed=self.config.seed)
         collector = ResultCollector(self.dataset)
@@ -102,6 +122,9 @@ class ServingSimulation:
         load_balancer = LoadBalancer(
             sim,
             routing=self.config.routing,
+            # The controller observes arrivals over one control period, so
+            # that is all the arrival history the balancer needs to retain.
+            observation_window=self.config.control_period,
             on_response=lambda query, image, stage, conf, deferred: collector.complete(
                 query, image, stage, conf, deferred, sim.now
             ),

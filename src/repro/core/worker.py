@@ -21,9 +21,13 @@ from repro.models.variants import ModelVariant
 from repro.simulator.simulation import Actor, Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkItem:
-    """A query queued at a worker, tagged with its cascade stage."""
+    """A query queued at a worker, tagged with its cascade stage.
+
+    Slotted: one (sometimes two, after a deferral) of these is allocated per
+    query on the simulator hot path.
+    """
 
     query: Query
     stage: str  # "light" or "heavy"

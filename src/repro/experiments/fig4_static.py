@@ -1,11 +1,16 @@
-"""Figure 4: performance comparison on synthetic static traces.
+"""Figure 4: performance comparison across load levels (any workload shape).
 
-For three static load levels (low / medium / high), every system is run on a
-constant-rate trace and plotted in (SLO violation ratio, FID) space.  The
-dynamic systems (Proteus and DiffServe) are swept over their over-provisioning
+For three load levels (low / medium / high), every system is run on the same
+workload and plotted in (SLO violation ratio, FID) space.  The dynamic
+systems (Proteus and DiffServe) are swept over their over-provisioning
 factor to trace out their quality/latency trade-off curves; the Clipper
 baselines yield a single point each.  The paper's finding: DiffServe's curve
 is Pareto-optimal (lower-left) at every load level.
+
+The paper's figure uses constant-rate (static Poisson) traces; the
+``workload`` argument swaps in any scenario from the workload catalog
+(``mmpp``, ``diurnal``, ``flash-crowd``, ``azure``) at the same nominal mean
+rates, so the Pareto comparison can be repeated under production-shaped load.
 
 The sweep is expressed as an :class:`~repro.runner.spec.ExperimentGrid` —
 one cell per (load level, system set, over-provisioning factor) — so the
@@ -16,7 +21,7 @@ cache.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
 from repro.metrics.pareto import ParetoPoint, is_pareto_dominated
@@ -36,6 +41,7 @@ class Fig4Result:
 
     cascade_name: str
     load_levels: Dict[str, float]
+    workload: str = "static"
     points: Dict[str, Dict[str, List[ParetoPoint]]] = field(default_factory=dict)
 
     def system_points(self, load: str, system: str) -> List[ParetoPoint]:
@@ -62,18 +68,26 @@ def build_fig4_grid(
     *,
     load_levels: Dict[str, float] = None,
     factors: Sequence[float] = DEFAULT_FACTORS,
+    workload: str = "static",
+    workload_params: Optional[Mapping[str, float]] = None,
 ) -> Tuple[ExperimentGrid, List[Tuple[str, str, object]], Dict[str, float]]:
     """The figure's grid, per-cell ``(load, system, payload)`` tags, and the
-    worker-scaled load levels the cells actually simulate."""
+    worker-scaled load levels the cells actually simulate.
+
+    ``workload`` selects the arrival process each load level runs under (the
+    level's QPS becomes the scenario's nominal mean rate); ``workload_params``
+    are forwarded to the workload catalog.
+    """
     load_levels = dict(DEFAULT_LOAD_LEVELS if load_levels is None else load_levels)
     # Scale loads with cluster size relative to the paper's 16 workers.
     worker_factor = scale.num_workers / 16.0
     load_levels = {k: v * worker_factor for k, v in load_levels.items()}
+    params = tuple(sorted((workload_params or {}).items()))
 
     specs: List[ExperimentSpec] = []
     tags: List[Tuple[str, str, object]] = []
     for load_name, qps in load_levels.items():
-        trace = TraceSpec(kind="static", qps=float(qps))
+        trace = TraceSpec(kind=workload, qps=float(qps), params=params)
         specs.append(
             ExperimentSpec(
                 cascade=cascade_name,
@@ -104,18 +118,25 @@ def run_fig4(
     *,
     load_levels: Dict[str, float] = None,
     factors: Sequence[float] = DEFAULT_FACTORS,
+    workload: str = "static",
+    workload_params: Optional[Mapping[str, float]] = None,
     jobs: int = 1,
 ) -> Fig4Result:
-    """Run the static-trace comparison (optionally across ``jobs`` processes)."""
+    """Run the load-level comparison (optionally across ``jobs`` processes)."""
     grid, tags, scaled_levels = build_fig4_grid(
-        cascade_name, scale, load_levels=load_levels, factors=factors
+        cascade_name,
+        scale,
+        load_levels=load_levels,
+        factors=factors,
+        workload=workload,
+        workload_params=workload_params,
     )
     report = run_grid(grid, jobs=jobs)
     if not report.ok:
         failed = report.failed[0]
         raise RuntimeError(f"fig4 cell {failed.spec.label} failed: {failed.error}")
 
-    result = Fig4Result(cascade_name=cascade_name, load_levels=scaled_levels)
+    result = Fig4Result(cascade_name=cascade_name, load_levels=scaled_levels, workload=workload)
     for (load_name, tag, payload), cell in zip(tags, report.cells):
         level_points = result.points.setdefault(load_name, {})
         if tag == "clipper":

@@ -11,7 +11,7 @@ cannot adapt.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -61,10 +61,28 @@ class Fig5Result:
 
 
 def run_fig5(
-    cascade_name: str = "sdturbo", scale: ExperimentScale = BENCH_SCALE
+    cascade_name: str = "sdturbo",
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    workload: str = "azure",
+    workload_qps: Optional[float] = None,
+    workload_params: Optional[Mapping[str, float]] = None,
 ) -> Fig5Result:
-    """Run the five-system comparison on the Azure-like trace."""
-    comparison = run_comparison(cascade_name, scale)
+    """Run the five-system comparison on the Azure-like trace.
+
+    ``workload``/``workload_qps``/``workload_params`` swap in any other
+    scenario from the workload catalog (e.g. ``mmpp`` for bursty arrivals;
+    ``static`` requires a ``workload_qps``) while keeping the same
+    five-system comparison.
+    """
+    from repro.runner.spec import TraceSpec
+
+    trace = TraceSpec(
+        kind=workload,
+        qps=workload_qps,
+        params=tuple(sorted((workload_params or {}).items())),
+    )
+    comparison = run_comparison(cascade_name, scale, trace=trace)
     return Fig5Result(comparison=comparison)
 
 

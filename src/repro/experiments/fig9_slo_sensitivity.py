@@ -12,11 +12,11 @@ parallelises and caches like every other figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
 from repro.runner.executor import run_grid
-from repro.runner.spec import ExperimentGrid, ExperimentSpec
+from repro.runner.spec import ExperimentGrid, ExperimentSpec, TraceSpec
 
 #: SLO values (seconds) swept for Cascade 1.
 DEFAULT_SLOS: tuple = (2.0, 3.0, 4.0, 5.0, 7.0, 10.0)
@@ -47,14 +47,28 @@ def run_fig9(
     scale: ExperimentScale = BENCH_SCALE,
     *,
     slos: Sequence[float] = DEFAULT_SLOS,
+    workload: str = "azure",
+    workload_qps: Optional[float] = None,
+    workload_params: Optional[Mapping[str, float]] = None,
     jobs: int = 1,
 ) -> Fig9Result:
-    """Run DiffServe across SLO settings (optionally across ``jobs`` processes)."""
+    """Run DiffServe across SLO settings (optionally across ``jobs`` processes).
+
+    ``workload``/``workload_qps``/``workload_params`` select the arrival
+    scenario the sensitivity sweep runs under (default: the Azure-like trace
+    replay; ``static`` requires a ``workload_qps``).
+    """
+    trace = TraceSpec(
+        kind=workload,
+        qps=workload_qps,
+        params=tuple(sorted((workload_params or {}).items())),
+    )
     specs = [
         ExperimentSpec(
             cascade=cascade_name,
             scale=scale,
             systems=("diffserve",),
+            trace=trace,
             params=(("slo", float(slo)),),
         )
         for slo in slos

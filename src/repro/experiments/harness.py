@@ -10,8 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
 from repro.baselines import (
     build_clipper_system,
     build_diffserve_static_system,
@@ -22,16 +20,10 @@ from repro.core.system import ServingSimulation, build_diffserve_system
 from repro.discriminators.base import Discriminator
 from repro.models.dataset import QueryDataset
 from repro.models.zoo import get_cascade
-from repro.traces.azure import azure_functions_like_rate
-from repro.traces.base import ArrivalTrace, RateCurve
+from repro.traces.base import RateCurve
 
-#: Default QPS ranges used per cascade (matching the artifact's trace files
-#: for a 16-worker cluster).
-DEFAULT_QPS_RANGE: Dict[str, tuple] = {
-    "sdturbo": (4.0, 32.0),
-    "sdxs": (4.0, 32.0),
-    "sdxlltn": (1.0, 8.0),
-}
+#: Re-exported from the workload catalog for backwards compatibility.
+from repro.workloads import DEFAULT_QPS_RANGE  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -107,16 +99,25 @@ def shared_components(cascade_name: str, scale: ExperimentScale, *, cache=None) 
 def default_trace(
     cascade_name: str, scale: ExperimentScale, *, seed: Optional[int] = None
 ) -> tuple:
-    """(rate curve, arrival trace) for a cascade at the default QPS range."""
-    lo, hi = DEFAULT_QPS_RANGE.get(cascade_name, (4.0, 32.0))
-    # Scale the QPS range with cluster size relative to the 16-worker default.
-    factor = scale.num_workers / 16.0
-    curve = azure_functions_like_rate(
-        lo * factor, hi * factor, duration=scale.trace_duration, seed=scale.seed
+    """(rate curve, arrival trace) for a cascade at the default QPS range.
+
+    This is the ``azure`` workload of the scenario catalog: a scaled replay
+    of the Azure-Functions-like production trace, sampled deterministically
+    from :class:`~repro.simulator.rng.RandomStreams`.
+    """
+    from repro.simulator.rng import RandomStreams
+    from repro.workloads import cascade_qps_range, make_workload
+
+    # The curve shape comes from the scale's seed; ``seed`` only re-rolls the
+    # arrival realisation of that same shape.
+    process = make_workload(
+        "azure",
+        duration=scale.trace_duration,
+        qps_range=cascade_qps_range(cascade_name, scale.num_workers),
+        seed=scale.seed,
     )
-    rng = np.random.default_rng(scale.seed if seed is None else seed)
-    trace = ArrivalTrace.from_rate_curve(curve, rng)
-    return curve, trace
+    arrival_seed = scale.seed if seed is None else seed
+    return process.rate_curve(), process.sample(RandomStreams(arrival_seed))
 
 
 def build_comparison_systems(
@@ -216,22 +217,26 @@ def run_comparison(
         "diffserve",
     ),
     peak_provision_factor: float = 0.8,
+    trace=None,
 ) -> SystemComparison:
     """Run the standard five-system comparison on the cascade's default trace.
 
     ``peak_provision_factor`` scales the trace peak into the *anticipated*
     peak DiffServe-Static is provisioned for (operators under-estimate bursts).
+    ``trace`` selects a workload scenario other than the default Azure-like
+    replay (a :class:`~repro.runner.spec.TraceSpec`).
 
     This is a thin wrapper over the runner subsystem: the comparison is one
     grid cell whose shared components come from the artifact cache.
     """
     from repro.runner.executor import run_cell_results
-    from repro.runner.spec import ExperimentSpec
+    from repro.runner.spec import ExperimentSpec, TraceSpec
 
     spec = ExperimentSpec(
         cascade=cascade_name,
         scale=scale,
         systems=tuple(systems),
+        trace=trace if trace is not None else TraceSpec(),
         peak_provision_factor=peak_provision_factor,
     )
     curve, results = run_cell_results(spec)

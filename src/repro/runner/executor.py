@@ -91,20 +91,38 @@ def canonical_summaries_json(summaries: Dict[str, Dict[str, float]]) -> str:
 # --------------------------------------------------------------------------
 
 
+def resolve_workload(spec: ExperimentSpec):
+    """The spec's workload scenario as an :class:`~repro.workloads.ArrivalProcess`.
+
+    The workload *shape* (e.g. the azure replay curve) is seeded by the
+    scale's seed only; ``spec.trace.seed`` overrides just the arrival
+    sampling, so the same shape can be replayed under many realisations.
+    """
+    from repro.workloads import cascade_qps_range, make_workload
+
+    return make_workload(
+        spec.trace.kind,
+        duration=spec.scale.trace_duration,
+        qps=spec.trace.qps,
+        qps_range=cascade_qps_range(spec.cascade, spec.scale.num_workers),
+        seed=spec.scale.seed,
+        params=spec.trace.params_dict(),
+    )
+
+
 def resolve_trace(spec: ExperimentSpec):
-    """(rate curve, arrival trace) for a spec's workload."""
-    import numpy as np
+    """(rate curve, arrival trace) for a spec's workload.
 
-    from repro.experiments.harness import default_trace
-    from repro.traces.base import ArrivalTrace
-    from repro.traces.synthetic import static_rate
+    The arrival sample is drawn from :class:`~repro.simulator.rng.RandomStreams`
+    seeded by the spec, so equal specs yield byte-identical traces (and hence
+    byte-identical cell summaries) across processes and machines.
+    """
+    from repro.simulator.rng import RandomStreams
 
-    if spec.trace.kind == "azure":
-        return default_trace(spec.cascade, spec.scale, seed=spec.trace.seed)
-    curve = static_rate(float(spec.trace.qps), spec.scale.trace_duration)
+    process = resolve_workload(spec)
     seed = spec.scale.seed if spec.trace.seed is None else spec.trace.seed
-    trace = ArrivalTrace.from_rate_curve(curve, np.random.default_rng(seed))
-    return curve, trace
+    trace = process.sample(RandomStreams(seed))
+    return process.rate_curve(), trace
 
 
 def run_cell_results(

@@ -19,7 +19,9 @@ from repro.experiments.harness import ExperimentScale
 
 #: Bump when the meaning of cached artifacts changes (training pipeline,
 #: simulator semantics, summary schema, ...) to invalidate every old entry.
-CACHE_SCHEMA_VERSION = 1
+#: v2: arrival sampling moved onto the workload scenario engine
+#: (RandomStreams-derived arrival streams instead of ad-hoc generators).
+CACHE_SCHEMA_VERSION = 2
 
 #: The standard five-system comparison run by most figures.
 DEFAULT_SYSTEMS: Tuple[str, ...] = (
@@ -86,27 +88,63 @@ def substrate_fingerprint(cascade_name: str) -> str:
 
 @dataclass(frozen=True)
 class TraceSpec:
-    """Workload trace of a grid cell.
+    """Workload scenario of a grid cell.
 
-    ``kind="azure"`` replays the diurnal Azure-Functions-like curve at the
-    cascade's default QPS range; ``kind="static"`` replays a constant-rate
-    trace at ``qps``.  ``seed`` overrides the arrival-sampling seed (defaults
-    to the experiment scale's seed).
+    ``kind`` names an arrival process from the workload catalog
+    (:data:`repro.workloads.WORKLOAD_KINDS`): ``azure`` replays the diurnal
+    Azure-Functions-like curve at the cascade's default QPS range,
+    ``static`` is constant-rate Poisson at ``qps``, and ``mmpp`` /
+    ``diurnal`` / ``flash-crowd`` shape their load around the nominal mean
+    rate ``qps`` (defaulting to the cascade range's midpoint).  ``params``
+    are the kind-specific float knobs (see
+    :data:`repro.workloads.WORKLOAD_PARAMS`), kept as a sorted tuple so the
+    scenario hashes into the cache key like any other grid dimension.
+    ``seed`` overrides the arrival-sampling seed (defaults to the experiment
+    scale's seed).
     """
 
     kind: str = "azure"
     qps: Optional[float] = None
     seed: Optional[int] = None
+    params: Tuple[Tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in ("azure", "static"):
-            raise ValueError(f"unknown trace kind {self.kind!r}; expected 'azure' or 'static'")
+        from repro.workloads import WORKLOAD_PARAMS
+
+        if self.kind not in WORKLOAD_PARAMS:
+            raise ValueError(
+                f"unknown trace kind {self.kind!r}; expected one of {tuple(WORKLOAD_PARAMS)}"
+            )
         if self.kind == "static" and (self.qps is None or self.qps <= 0):
             raise ValueError("static traces require a positive qps")
+        allowed = WORKLOAD_PARAMS[self.kind]
+        seen = set()
+        for key, value in self.params:
+            if key not in allowed:
+                raise ValueError(
+                    f"unknown workload param {key!r} for kind {self.kind!r}; "
+                    f"allowed: {sorted(allowed)}"
+                )
+            if key in seen:
+                raise ValueError(f"duplicate workload param {key!r}")
+            seen.add(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"workload param {key!r} must be a number, got {value!r}")
+        object.__setattr__(
+            self, "params", tuple(sorted((k, float(v)) for k, v in self.params))
+        )
+
+    def params_dict(self) -> Dict[str, float]:
+        """The workload params as a plain dict."""
+        return dict(self.params)
 
     def token(self) -> str:
         """Canonical hash token."""
-        return f"trace({self.kind},{_canon_token(self.qps)},{_canon_token(self.seed)})"
+        extras = ",".join(f"{k}={_canon_token(v)}" for k, v in self.params)
+        return (
+            f"trace({self.kind},{_canon_token(self.qps)},{_canon_token(self.seed)},"
+            f"[{extras}])"
+        )
 
 
 @dataclass(frozen=True)
@@ -192,8 +230,11 @@ class ExperimentSpec:
     def label(self) -> str:
         """Short human-readable cell label for tables and logs."""
         bits = [self.cascade, f"seed{self.scale.seed}"]
-        if self.trace.kind == "static":
-            bits.append(f"static{self.trace.qps:g}qps")
+        if self.trace.kind != "azure" or self.trace.qps is not None or self.trace.params:
+            desc = self.trace.kind
+            if self.trace.qps is not None:
+                desc += f"{self.trace.qps:g}qps"
+            bits.append(desc)
         bits.extend(f"{k}={v}" for k, v in self.params)
         return "/".join(bits)
 

@@ -11,6 +11,7 @@ from repro.traces.azure import azure_functions_like_rate
 from repro.traces.synthetic import (
     burst_rate,
     diurnal_rate,
+    flash_crowd_rate,
     static_rate,
     step_rate,
 )
@@ -22,5 +23,6 @@ __all__ = [
     "step_rate",
     "diurnal_rate",
     "burst_rate",
+    "flash_crowd_rate",
     "azure_functions_like_rate",
 ]

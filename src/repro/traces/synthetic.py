@@ -35,14 +35,53 @@ def diurnal_rate(
     *,
     n_points: int = 200,
     phase: float = -np.pi / 2,
+    cycles: float = 1.0,
     name: str = "diurnal",
 ) -> RateCurve:
-    """A single diurnal wave from trough to peak and back."""
+    """A sinusoidal diurnal wave from trough to peak and back.
+
+    ``cycles`` stretches several day/night periods into the trace window
+    (fractional values leave the last cycle incomplete).
+    """
     if n_points < 2:
         raise ValueError("n_points must be >= 2")
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
     times = np.linspace(0.0, duration, n_points)
-    wave = 0.5 * (1 + np.sin(2 * np.pi * times / duration + phase))
+    wave = 0.5 * (1 + np.sin(2 * np.pi * cycles * times / duration + phase))
     rates = min_qps + (max_qps - min_qps) * wave
+    return RateCurve(times=times, rates=rates, name=name)
+
+
+def flash_crowd_rate(
+    base_qps: float,
+    spike_qps: float,
+    duration: float,
+    *,
+    spike_at: float,
+    decay_tau: float,
+    n_points: int = 200,
+    name: str = "flash-crowd",
+) -> RateCurve:
+    """A flat base rate with one sudden spike that decays exponentially.
+
+    The rate jumps from ``base_qps`` to ``spike_qps`` at ``spike_at`` and
+    relaxes back towards the base with time constant ``decay_tau`` — the
+    canonical flash-crowd shape (sudden onset, slow cool-down).
+    """
+    if not 0 < spike_at < duration:
+        raise ValueError("spike_at must lie strictly inside (0, duration)")
+    if decay_tau <= 0:
+        raise ValueError("decay_tau must be positive")
+    if spike_qps < base_qps:
+        raise ValueError("spike_qps must be >= base_qps")
+    eps = min(1e-3, spike_at / 10)
+    decay_times = np.linspace(spike_at, duration, max(n_points, 2))
+    decay_rates = base_qps + (spike_qps - base_qps) * np.exp(
+        -(decay_times - spike_at) / decay_tau
+    )
+    times = np.concatenate([[0.0, spike_at - eps], decay_times])
+    rates = np.concatenate([[base_qps, base_qps], decay_rates])
     return RateCurve(times=times, rates=rates, name=name)
 
 

@@ -1,0 +1,175 @@
+"""Unified arrival-process abstraction: the workload scenario engine.
+
+Every workload scenario in the evaluation — constant-rate Poisson, bursty
+MMPP, diurnal cycles, flash crowds, scaled trace replay — implements one
+API: :class:`ArrivalProcess`.  A process describes a *distribution* over
+arrival traces; :meth:`ArrivalProcess.sample` draws a concrete
+:class:`~repro.traces.base.ArrivalTrace` from a named stream of
+:class:`~repro.simulator.rng.RandomStreams`, so every scenario is
+deterministic given a root seed and statistically independent of the other
+stochastic components of the simulation.
+
+Processes compose:
+
+* ``a + b`` superposes two processes (their arrivals are merged, as when two
+  client populations hit the same cluster);
+* ``a.then(b)`` splices two processes in time (``b`` starts when ``a``'s
+  window ends, as when a steady phase is followed by a flash crowd).
+
+Composites are themselves processes, so compositions nest arbitrarily.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.simulator.rng import RandomStreams
+from repro.traces.base import ArrivalTrace, RateCurve
+
+
+class ArrivalProcess(abc.ABC):
+    """A stochastic arrival process over a finite time window.
+
+    Subclasses define the *nominal* (expected) rate over time via
+    :meth:`rate_curve` — used for provisioning and figures — and how to draw
+    a concrete arrival trace via :meth:`sample`.
+    """
+
+    #: Human-readable scenario label (set by subclasses).
+    name: str = "arrivals"
+
+    @property
+    @abc.abstractmethod
+    def duration(self) -> float:
+        """Length of the arrival window (seconds)."""
+
+    @abc.abstractmethod
+    def rate_curve(self) -> RateCurve:
+        """Nominal (expected) arrival rate over time.
+
+        Experiments use this curve for capacity provisioning (its peak) and
+        demand figures; it is deterministic and does not consume randomness.
+        """
+
+    @abc.abstractmethod
+    def sample(self, streams: RandomStreams, *, stream: str = "workload") -> ArrivalTrace:
+        """Draw a concrete arrival trace.
+
+        Parameters
+        ----------
+        streams:
+            The experiment's root random streams; the process draws only from
+            sub-streams of ``stream``, so sampling a workload never perturbs
+            other stochastic components.
+        stream:
+            Stream-name prefix.  Composite processes re-prefix their children
+            (``{stream}/{index}``) so identically named components stay
+            statistically independent.
+        """
+
+    # ------------------------------------------------------------ conveniences
+    def mean_rate(self) -> float:
+        """Time-averaged nominal rate (QPS)."""
+        return self.rate_curve().mean_rate()
+
+    def peak_rate(self) -> float:
+        """Peak nominal rate (QPS), used for capacity provisioning."""
+        return self.rate_curve().peak
+
+    # ------------------------------------------------------------- composition
+    def __add__(self, other: "ArrivalProcess") -> "SuperposedProcess":
+        if not isinstance(other, ArrivalProcess):
+            return NotImplemented
+        return SuperposedProcess((self, other))
+
+    def then(self, other: "ArrivalProcess") -> "SplicedProcess":
+        """Splice ``other`` after this process in time."""
+        return SplicedProcess((self, other))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} duration={self.duration:g}s>"
+
+
+def _merge_time_grid(curves: Sequence[RateCurve]) -> np.ndarray:
+    """Union of the curves' time points (sorted, deduplicated)."""
+    return np.unique(np.concatenate([curve.times for curve in curves]))
+
+
+class SuperposedProcess(ArrivalProcess):
+    """Sum of several arrival processes (merged arrivals).
+
+    The nominal rate is the pointwise sum of the component rates (components
+    shorter than the composite contribute their clamped end rate only up to
+    their own duration, then zero).
+    """
+
+    def __init__(self, processes: Sequence[ArrivalProcess]) -> None:
+        if not processes:
+            raise ValueError("superposition needs at least one process")
+        self.processes: Tuple[ArrivalProcess, ...] = tuple(processes)
+        self.name = "sum(" + "+".join(p.name for p in self.processes) + ")"
+
+    @property
+    def duration(self) -> float:
+        return max(p.duration for p in self.processes)
+
+    def rate_curve(self) -> RateCurve:
+        curves = [p.rate_curve() for p in self.processes]
+        times = _merge_time_grid(curves)
+        rates = np.zeros_like(times)
+        for process, curve in zip(self.processes, curves):
+            # A component contributes nothing after its own window ends.
+            component = np.interp(times, curve.times, curve.rates)
+            component[times > process.duration] = 0.0
+            rates += component
+        return RateCurve(times=times, rates=rates, name=self.name)
+
+    def sample(self, streams: RandomStreams, *, stream: str = "workload") -> ArrivalTrace:
+        arrivals = [
+            process.sample(streams, stream=f"{stream}/{index}").arrival_times
+            for index, process in enumerate(self.processes)
+        ]
+        merged = np.sort(np.concatenate(arrivals)) if arrivals else np.zeros(0)
+        return ArrivalTrace(arrival_times=merged, curve=self.rate_curve())
+
+
+class SplicedProcess(ArrivalProcess):
+    """Several arrival processes played back-to-back in time."""
+
+    def __init__(self, processes: Sequence[ArrivalProcess]) -> None:
+        if not processes:
+            raise ValueError("splice needs at least one process")
+        self.processes: Tuple[ArrivalProcess, ...] = tuple(processes)
+        self.name = "splice(" + ">".join(p.name for p in self.processes) + ")"
+
+    @property
+    def duration(self) -> float:
+        return float(sum(p.duration for p in self.processes))
+
+    def rate_curve(self) -> RateCurve:
+        times = []
+        rates = []
+        offset = 0.0
+        for process in self.processes:
+            curve = process.rate_curve()
+            times.append(curve.times + offset)
+            rates.append(curve.rates)
+            offset += process.duration
+        return RateCurve(
+            times=np.concatenate(times), rates=np.concatenate(rates), name=self.name
+        )
+
+    def sample(self, streams: RandomStreams, *, stream: str = "workload") -> ArrivalTrace:
+        arrivals = []
+        offset = 0.0
+        for index, process in enumerate(self.processes):
+            segment = process.sample(streams, stream=f"{stream}/{index}")
+            # Arrivals of one segment are confined to its own window, so the
+            # offset concatenation stays sorted.
+            arrivals.append(np.minimum(segment.arrival_times, process.duration) + offset)
+            offset += process.duration
+        merged = np.concatenate(arrivals) if arrivals else np.zeros(0)
+        return ArrivalTrace(arrival_times=merged, curve=self.rate_curve())

@@ -1,0 +1,218 @@
+"""Concrete arrival processes: Poisson, MMPP, diurnal, flash crowd, replay.
+
+All rate-modulated processes sample arrivals by thinning a non-homogeneous
+Poisson process against their nominal rate curve; the MMPP additionally
+samples the hidden burst/base state sequence, so its arrivals are burstier
+than any fixed rate curve can express (overdispersed inter-arrival times).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.rng import RandomStreams
+from repro.traces.azure import azure_functions_like_rate
+from repro.traces.base import ArrivalTrace, RateCurve
+from repro.traces.synthetic import diurnal_rate, flash_crowd_rate, static_rate
+from repro.workloads.base import ArrivalProcess
+
+
+class PoissonProcess(ArrivalProcess):
+    """(Non-)homogeneous Poisson arrivals over an arbitrary rate curve."""
+
+    def __init__(self, curve: RateCurve, *, name: str = "") -> None:
+        if curve.duration <= 0:
+            raise ValueError("the rate curve must span a positive duration")
+        self.curve = curve
+        self.name = name or f"poisson-{curve.name}"
+
+    @property
+    def duration(self) -> float:
+        return self.curve.duration
+
+    def rate_curve(self) -> RateCurve:
+        return self.curve
+
+    def sample(self, streams: RandomStreams, *, stream: str = "workload") -> ArrivalTrace:
+        rng = streams.stream(f"{stream}/{self.name}")
+        return ArrivalTrace.from_rate_curve(self.curve, rng)
+
+    @classmethod
+    def constant(cls, qps: float, duration: float) -> "PoissonProcess":
+        """Constant-rate Poisson arrivals (the paper's static traces)."""
+        return cls(static_rate(qps, duration), name=f"static-{qps:g}qps")
+
+
+class MMPPProcess(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty arrivals).
+
+    The hidden state alternates between a *base* and a *burst* regime with
+    exponentially distributed dwell times; within each dwell, arrivals are
+    homogeneous Poisson at the regime's rate.  This produces the
+    overdispersed, bursty inter-arrival statistics of production request
+    logs that a plain rate curve cannot capture.
+    """
+
+    def __init__(
+        self,
+        base_qps: float,
+        burst_qps: float,
+        duration: float,
+        *,
+        mean_dwell_base: float = 40.0,
+        mean_dwell_burst: float = 10.0,
+    ) -> None:
+        if base_qps < 0 or burst_qps < 0:
+            raise ValueError("rates must be non-negative")
+        if burst_qps < base_qps:
+            raise ValueError("burst_qps must be >= base_qps")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if mean_dwell_base <= 0 or mean_dwell_burst <= 0:
+            raise ValueError("mean dwell times must be positive")
+        self.base_qps = float(base_qps)
+        self.burst_qps = float(burst_qps)
+        self._duration = float(duration)
+        self.mean_dwell_base = float(mean_dwell_base)
+        self.mean_dwell_burst = float(mean_dwell_burst)
+        self.name = f"mmpp-{base_qps:g}to{burst_qps:g}qps"
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    def stationary_rate(self) -> float:
+        """Long-run mean rate implied by the dwell-time fractions."""
+        total = self.mean_dwell_base + self.mean_dwell_burst
+        return (
+            self.base_qps * self.mean_dwell_base + self.burst_qps * self.mean_dwell_burst
+        ) / total
+
+    def rate_curve(self) -> RateCurve:
+        """Nominal square wave: mean-length dwells at the two regime rates.
+
+        The curve is deterministic (the *expected* dwell pattern), so its
+        mean matches :meth:`stationary_rate` and its peak is the burst rate —
+        what capacity provisioning needs to see.
+        """
+        eps = 1e-3
+        times = [0.0]
+        rates = [self.base_qps]
+        t, burst = 0.0, False
+        while t < self._duration:
+            dwell = self.mean_dwell_burst if burst else self.mean_dwell_base
+            rate = self.burst_qps if burst else self.base_qps
+            end = min(t + dwell, self._duration)
+            times.append(max(end - eps, t))
+            rates.append(rate)
+            burst = not burst
+            next_rate = self.burst_qps if burst else self.base_qps
+            times.append(end)
+            rates.append(next_rate if end < self._duration else rate)
+            t = end
+        return RateCurve(times=np.array(times), rates=np.array(rates), name=self.name)
+
+    def sample(self, streams: RandomStreams, *, stream: str = "workload") -> ArrivalTrace:
+        rng = streams.stream(f"{stream}/{self.name}")
+        arrivals = []
+        t, burst = 0.0, False
+        while t < self._duration:
+            mean_dwell = self.mean_dwell_burst if burst else self.mean_dwell_base
+            rate = self.burst_qps if burst else self.base_qps
+            end = min(t + rng.exponential(mean_dwell), self._duration)
+            tau = t
+            while rate > 0:
+                tau += rng.exponential(1.0 / rate)
+                if tau >= end:
+                    break
+                arrivals.append(tau)
+            t = end
+            burst = not burst
+        return ArrivalTrace(arrival_times=np.array(arrivals), curve=self.rate_curve())
+
+
+class DiurnalProcess(PoissonProcess):
+    """Poisson arrivals modulated by a sinusoidal day/night cycle."""
+
+    def __init__(
+        self,
+        min_qps: float,
+        max_qps: float,
+        duration: float,
+        *,
+        cycles: float = 1.0,
+        phase: float = -np.pi / 2,
+    ) -> None:
+        if max_qps < min_qps:
+            raise ValueError("max_qps must be >= min_qps")
+        self.min_qps = float(min_qps)
+        self.max_qps = float(max_qps)
+        self.cycles = float(cycles)
+        curve = diurnal_rate(
+            min_qps,
+            max_qps,
+            duration,
+            cycles=cycles,
+            phase=phase,
+            name=f"diurnal-{min_qps:g}to{max_qps:g}qps",
+        )
+        super().__init__(curve, name=curve.name)
+
+
+class FlashCrowdProcess(PoissonProcess):
+    """A flat base load hit by a sudden spike that decays exponentially."""
+
+    def __init__(
+        self,
+        base_qps: float,
+        spike_qps: float,
+        duration: float,
+        *,
+        spike_at: float,
+        decay_tau: float,
+    ) -> None:
+        self.base_qps = float(base_qps)
+        self.spike_qps = float(spike_qps)
+        self.spike_at = float(spike_at)
+        self.decay_tau = float(decay_tau)
+        curve = flash_crowd_rate(
+            base_qps,
+            spike_qps,
+            duration,
+            spike_at=spike_at,
+            decay_tau=decay_tau,
+            name=f"flash-{base_qps:g}to{spike_qps:g}qps",
+        )
+        super().__init__(curve, name=curve.name)
+
+
+class TraceReplayProcess(PoissonProcess):
+    """Scaled replay of the Azure-Functions-like production trace.
+
+    The diurnal-with-bursts curve is synthesised once from ``curve_seed``
+    (the shape), then arrivals are sampled from the experiment's random
+    streams (the realisation) — so the same trace shape can be replayed
+    under many arrival seeds.
+    """
+
+    def __init__(
+        self,
+        min_qps: float,
+        max_qps: float,
+        duration: float,
+        *,
+        curve_seed: int = 0,
+        n_bursts: int = 4,
+    ) -> None:
+        self.min_qps = float(min_qps)
+        self.max_qps = float(max_qps)
+        self.curve_seed = int(curve_seed)
+        curve = azure_functions_like_rate(
+            min_qps,
+            max_qps,
+            duration,
+            seed=curve_seed,
+            n_bursts=n_bursts,
+            name=f"azure-{min_qps:g}to{max_qps:g}qps",
+        )
+        super().__init__(curve, name=curve.name)

@@ -108,3 +108,73 @@ def test_run_command_reports_failed_cells_with_nonzero_exit(tmp_path, monkeypatc
 def test_run_command_rejects_bad_grid_spec(capsys):
     assert cli.main(["run", "--grid", "wat=1"]) == 2
     assert "unknown grid keys" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------- workload axis
+def test_parse_grid_workloads_axis():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    grid = cli.parse_grid("cascades=sdturbo;workloads=mmpp,diurnal;systems=diffserve", scale)
+    assert len(grid) == 2
+    assert [spec.trace.kind for spec in grid] == ["mmpp", "diurnal"]
+
+
+def test_workload_flag_overrides_grid_key_and_carries_params():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    grid = cli.parse_grid(
+        "cascades=sdturbo;workloads=azure;systems=diffserve",
+        scale,
+        workloads="mmpp,flash-crowd",
+        workload_params="burst_factor=6,dwell_burst=5",
+    )
+    assert [spec.trace.kind for spec in grid] == ["mmpp", "flash-crowd"]
+    assert grid[0].trace.params_dict() == {"burst_factor": 6.0, "dwell_burst": 5.0}
+    # The two cells hash differently (the workload is a real grid dimension).
+    assert len({spec.content_hash for spec in grid}) == 2
+
+
+def test_workloads_cross_with_qps():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    grid = cli.parse_grid(
+        "cascades=sdturbo;workloads=static,mmpp;qps=4,8;systems=diffserve", scale
+    )
+    assert len(grid) == 4
+    assert {(s.trace.kind, s.trace.qps) for s in grid} == {
+        ("static", 4.0), ("static", 8.0), ("mmpp", 4.0), ("mmpp", 8.0),
+    }
+
+
+def test_parse_workload_params_rejects_malformed_input():
+    with pytest.raises(ValueError):
+        cli.parse_workload_params("burst_factor")
+    with pytest.raises(ValueError):
+        cli.parse_workload_params("burst_factor=abc")
+    assert cli.parse_workload_params(None) == {}
+    assert cli.parse_workload_params("a=1, b=2.5") == {"a": 1.0, "b": 2.5}
+
+
+def test_run_command_accepts_workload_flag(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    argv = [
+        "run", "--grid", "cascades=sdturbo;systems=diffserve",
+        "--workload", "flash-crowd", "--workload-params", "spike_factor=2",
+    ] + TINY_ARGS
+    assert cli.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "flash-crowd" in out
+    assert "cells=1 ok=1 cached=0" in out
+
+
+def test_workload_params_matching_no_selected_workload_are_rejected():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    with pytest.raises(ValueError, match="apply to none"):
+        cli.parse_grid(
+            "cascades=sdturbo;systems=diffserve",
+            scale,
+            workloads="diurnal",
+            workload_params="burst_factor=6",
+        )
+
+
+def test_parse_workload_params_rejects_duplicate_keys():
+    with pytest.raises(ValueError, match="duplicate workload param"):
+        cli.parse_workload_params("burst_factor=2,burst_factor=9")

@@ -75,6 +75,22 @@ def test_littles_law_waiting_time():
         model.waiting_time(-1, 10.0, 1.0)
 
 
+def test_littles_law_floor_is_half_a_batch_execution():
+    """Regression: the floor is the *residual* of the in-flight batch.
+
+    The in-flight batch is on average halfway done, matching the Load
+    Balancer's heavy-completion estimate (Section 3.3) — not a full batch
+    execution, which would double-count the residual service time.
+    """
+    model = LittlesLawModel()
+    for execution in (0.1, 1.0, 4.0):
+        # The floor binds whenever Little's law predicts less than half a batch.
+        assert model.waiting_time(0, 100.0, execution) == pytest.approx(execution / 2.0)
+        assert model.waiting_time(1, 1000.0, execution) == pytest.approx(execution / 2.0)
+    # Above the floor, Little's law wins untouched.
+    assert model.waiting_time(10, 2.0, 1.0) == pytest.approx(5.0)
+
+
 def test_two_x_execution_heuristic():
     model = TwoXExecutionModel()
     assert model.waiting_time(100, 1.0, 3.0) == pytest.approx(6.0)

@@ -97,3 +97,62 @@ def test_cancelled_event_fire_is_noop():
     event = Event(time=1.0, seq=0, callback=lambda: 42)
     event.cancel()
     assert event.fire() is None
+
+
+def test_events_and_queue_are_slotted():
+    # Events are the hottest allocation in the simulator; the slot layout is
+    # load-bearing for long bursty traces.
+    event = Event(time=1.0, seq=0)
+    assert not hasattr(event, "__dict__")
+    with pytest.raises(AttributeError):
+        event.unexpected_attribute = 1
+
+
+def test_cancel_heavy_heap_is_compacted():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(1000)]
+    for event in events[:900]:
+        q.cancel(event)
+    # Cancelled entries outnumber live ones, so the heap must have been
+    # rebuilt with only (close to) the live events.
+    assert len(q) == 100
+    assert len(q._heap) <= 2 * len(q)
+
+
+def test_compaction_preserves_pop_order_and_counts():
+    q = EventQueue()
+    keep, cancelled = [], []
+    for i in range(500):
+        event = q.push(float(i % 97), lambda i=i: i, priority=i % 3)
+        (keep if i % 5 == 0 else cancelled).append(event)
+    for event in cancelled:
+        q.cancel(event)
+    fired = []
+    while q:
+        event = q.pop()
+        fired.append((event.time, event.priority, event.seq))
+    assert len(fired) == len(keep)
+    assert fired == sorted(fired)
+
+
+def test_small_heaps_are_not_compacted():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(10)]
+    for event in events[:9]:
+        q.cancel(event)
+    # Below the compaction threshold the dead entries stay until popped.
+    assert len(q._heap) == 10
+    assert len(q) == 1
+    assert q.pop().time == 9.0
+
+
+def test_compaction_keeps_cancel_idempotent():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(200)]
+    for event in events[:150]:
+        q.cancel(event)
+    for event in events[:150]:
+        q.cancel(event)  # second cancel of compacted-away events is a no-op
+    assert len(q) == 50
+    times = [q.pop().time for _ in range(len(q))]
+    assert times == [float(i) for i in range(150, 200)]

@@ -113,3 +113,50 @@ def test_nested_scheduling_from_callbacks():
     sim.schedule(2.0, lambda: order.append("later"))
     sim.run()
     assert order == ["outer", "inner", "later"]
+
+
+# ----------------------------------------------- run(until=..., max_events=...)
+def test_max_events_with_until_stops_at_whichever_comes_first():
+    sim = Simulator(seed=0)
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1.0, lambda i=i: fired.append(i))
+    # max_events binds first: only 3 of the 5 events before until=5 fire.
+    sim.run(until=5.0, max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.now == pytest.approx(3.0)
+    # until binds next: the remaining pre-5s events fire, clock parks at 5.
+    sim.run(until=5.0, max_events=100)
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_run_resumes_after_max_events_without_refiring():
+    sim = Simulator(seed=0)
+    fired = []
+    for i in range(6):
+        sim.schedule(i + 1.0, lambda i=i: fired.append(i))
+    sim.run(max_events=2)
+    sim.run(max_events=2)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.events_fired == 6
+
+
+def test_max_events_is_per_run_not_cumulative():
+    sim = Simulator(seed=0)
+    for i in range(4):
+        sim.schedule(i + 1.0, lambda: None)
+    sim.run(max_events=3)
+    assert sim.events_fired == 3
+    sim.run(max_events=3)  # a fresh budget fires the remaining event
+    assert sim.events_fired == 4
+
+
+def test_until_exactly_on_event_time_fires_the_event():
+    sim = Simulator(seed=0)
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("at-5"))
+    sim.run(until=5.0)
+    assert fired == ["at-5"]
+    assert sim.now == pytest.approx(5.0)

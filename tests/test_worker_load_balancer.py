@@ -301,3 +301,65 @@ def test_threshold_and_fraction_validation():
         lb.set_threshold(1.5)
     with pytest.raises(ValueError):
         lb.set_heavy_fraction(-0.1)
+
+
+# -------------------------------------------------- arrival-history retention
+def test_arrival_history_is_pruned_to_the_observation_window():
+    sim = Simulator(seed=0)
+    lb = LoadBalancer(sim, routing=RoutingMode.CASCADE, observation_window=10.0)
+    lb.set_pools([make_worker(sim)], [])
+    for i in range(100):
+        sim.schedule_at(
+            float(i), lambda i=i: lb.submit(make_query(i, arrival=float(i), slo=300.0))
+        )
+    sim.run(until=99.0)
+    # Memory stays bounded by the window's arrival count, not the whole run.
+    assert len(lb._arrival_times) <= 11
+    assert lb.arrivals_in_window(5.0) == 6  # t in [94, 99], cutoff inclusive
+    assert lb.stats.arrivals == 100  # the counters still see every arrival
+
+
+def test_arrivals_in_window_counts_only_recent_arrivals():
+    sim = Simulator(seed=0)
+    lb = LoadBalancer(sim, routing=RoutingMode.CASCADE, observation_window=50.0)
+    lb.set_pools([make_worker(sim)], [])
+    for t in (0.0, 10.0, 20.0, 30.0):
+        sim.schedule_at(t, lambda t=t: lb.submit(make_query(int(t), arrival=t, slo=300.0)))
+    sim.run(until=35.0)
+    assert lb.arrivals_in_window(6.0) == 1  # only t=30
+    assert lb.arrivals_in_window(16.0) == 2  # t=20 and t=30
+    assert lb.arrivals_in_window(50.0) == 4
+
+
+def test_observation_window_must_be_positive():
+    sim = Simulator(seed=0)
+    with pytest.raises(ValueError):
+        LoadBalancer(sim, routing=RoutingMode.CASCADE, observation_window=0.0)
+
+
+# ------------------------------------------------- deferral-rate edge cases
+def test_observed_deferral_rate_is_none_without_light_decisions():
+    from repro.core.load_balancer import LoadBalancerStats
+
+    stats = LoadBalancerStats()
+    assert stats.observed_deferral_rate is None
+    # Heavy completions and drops alone are not light-stage decisions.
+    stats.returned_heavy = 5
+    stats.dropped = 3
+    assert stats.observed_deferral_rate is None
+
+
+def test_observed_deferral_rate_all_deferred_window():
+    from repro.core.load_balancer import LoadBalancerStats
+
+    stats = LoadBalancerStats(deferred=7, returned_light=0)
+    assert stats.observed_deferral_rate == pytest.approx(1.0)
+    stats.reset()
+    assert stats.observed_deferral_rate is None
+
+
+def test_observed_deferral_rate_mixed_window():
+    from repro.core.load_balancer import LoadBalancerStats
+
+    stats = LoadBalancerStats(deferred=1, returned_light=3)
+    assert stats.observed_deferral_rate == pytest.approx(0.25)

@@ -1,0 +1,185 @@
+"""Tests for the workload scenario engine (arrival processes + catalog)."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.rng import RandomStreams
+from repro.workloads import (
+    WORKLOAD_KINDS,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    MMPPProcess,
+    PoissonProcess,
+    SplicedProcess,
+    SuperposedProcess,
+    TraceReplayProcess,
+    cascade_qps_range,
+    make_workload,
+)
+
+
+def _kind_kwargs(kind):
+    return {"qps": 8.0} if kind == "static" else {}
+
+
+# ----------------------------------------------------------------- determinism
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+def test_every_kind_is_deterministic_under_a_seed(kind):
+    process = make_workload(kind, duration=120.0, qps_range=(4.0, 32.0), **_kind_kwargs(kind))
+    first = process.sample(RandomStreams(7))
+    again = process.sample(RandomStreams(7))
+    other = process.sample(RandomStreams(8))
+    assert np.array_equal(first.arrival_times, again.arrival_times)
+    assert not np.array_equal(first.arrival_times, other.arrival_times)
+
+
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+def test_every_kind_samples_sorted_arrivals_inside_the_window(kind):
+    process = make_workload(kind, duration=120.0, qps_range=(4.0, 32.0), **_kind_kwargs(kind))
+    trace = process.sample(RandomStreams(0))
+    assert len(trace) > 0
+    assert np.all(np.diff(trace.arrival_times) >= 0)
+    assert trace.arrival_times[0] >= 0.0
+    assert trace.arrival_times[-1] <= process.duration
+
+
+def test_workload_sampling_does_not_perturb_other_streams():
+    streams = RandomStreams(0)
+    before = RandomStreams(0).stream("worker-latency/0").normal(size=4)
+    make_workload("mmpp", duration=60.0, qps=10.0).sample(streams)
+    after = streams.stream("worker-latency/0").normal(size=4)
+    assert np.allclose(before, after)
+
+
+# -------------------------------------------------------------- nominal rates
+@pytest.mark.parametrize("kind", ("static", "mmpp", "diurnal"))
+def test_nominal_qps_sets_the_mean_rate(kind):
+    process = make_workload(kind, duration=1200.0, qps=12.0)
+    # The nominal curve integrates to ~the nominal mean rate...
+    assert process.mean_rate() == pytest.approx(12.0, rel=0.15)
+    # ...and the sampled arrivals realise it.
+    observed = len(process.sample(RandomStreams(0))) / process.duration
+    assert observed == pytest.approx(12.0, rel=0.25)
+
+
+def test_mmpp_is_burstier_than_poisson_at_equal_mean():
+    duration, qps = 2000.0, 10.0
+    mmpp = make_workload("mmpp", duration=duration, qps=qps)
+    poisson = make_workload("static", duration=duration, qps=qps)
+    window = 10.0
+
+    def dispersion(process):
+        rates = process.sample(RandomStreams(3)).observed_rate(window) * window
+        return rates.var() / max(rates.mean(), 1e-9)
+
+    # Index of dispersion: ~1 for Poisson, substantially larger for MMPP.
+    assert dispersion(poisson) < 2.0
+    assert dispersion(mmpp) > 2.0 * dispersion(poisson)
+
+
+def test_mmpp_nominal_curve_matches_stationary_rate():
+    process = MMPPProcess(4.0, 40.0, 500.0, mean_dwell_base=40.0, mean_dwell_burst=10.0)
+    assert process.stationary_rate() == pytest.approx((4.0 * 40 + 40.0 * 10) / 50)
+    assert process.rate_curve().mean_rate() == pytest.approx(
+        process.stationary_rate(), rel=0.05
+    )
+    assert process.peak_rate() == pytest.approx(40.0)
+
+
+def test_flash_crowd_spikes_then_decays():
+    process = FlashCrowdProcess(4.0, 40.0, 200.0, spike_at=100.0, decay_tau=20.0)
+    curve = process.rate_curve()
+    assert curve.rate_at(50.0) == pytest.approx(4.0)
+    assert curve.rate_at(100.0) == pytest.approx(40.0, rel=0.01)
+    assert curve.rate_at(199.0) < 10.0  # decayed several taus later
+    trace = process.sample(RandomStreams(0))
+    before = np.sum(trace.arrival_times < 100.0) / 100.0
+    after = np.sum((trace.arrival_times >= 100.0) & (trace.arrival_times < 120.0)) / 20.0
+    assert after > 3.0 * before
+
+
+def test_diurnal_cycles_parameter():
+    two = DiurnalProcess(2.0, 10.0, 100.0, cycles=2.0).rate_curve()
+    # Two cycles -> two peaks: the rate returns to its peak in each half.
+    assert two.rate_at(25.0) == pytest.approx(10.0, rel=0.05)
+    assert two.rate_at(75.0) == pytest.approx(10.0, rel=0.05)
+
+
+def test_trace_replay_scales_to_range():
+    process = TraceReplayProcess(4.0, 32.0, 180.0, curve_seed=1)
+    assert process.rate_curve().minimum == pytest.approx(4.0, abs=1e-6)
+    assert process.peak_rate() == pytest.approx(32.0, abs=1e-6)
+
+
+# ---------------------------------------------------------------- composition
+def test_superposition_merges_arrivals_and_sums_rates():
+    a = PoissonProcess.constant(5.0, 100.0)
+    b = PoissonProcess.constant(3.0, 100.0)
+    combined = a + b
+    assert isinstance(combined, SuperposedProcess)
+    assert combined.mean_rate() == pytest.approx(8.0)
+    streams = RandomStreams(0)
+    trace = combined.sample(streams)
+    assert np.all(np.diff(trace.arrival_times) >= 0)
+    # Components draw from index-prefixed streams, so the merged sample is
+    # the union of two independent realisations.
+    assert len(trace) == pytest.approx(800, rel=0.15)
+
+
+def test_superposed_identical_components_stay_independent():
+    a = PoissonProcess.constant(5.0, 100.0)
+    trace = (a + a).sample(RandomStreams(0))
+    # If both components drew from the same stream the arrivals would pair up.
+    assert len(np.unique(trace.arrival_times)) == len(trace)
+
+
+def test_splice_plays_processes_back_to_back():
+    quiet = PoissonProcess.constant(2.0, 100.0)
+    crowd = FlashCrowdProcess(2.0, 30.0, 50.0, spike_at=10.0, decay_tau=10.0)
+    spliced = quiet.then(crowd)
+    assert isinstance(spliced, SplicedProcess)
+    assert spliced.duration == pytest.approx(150.0)
+    trace = spliced.sample(RandomStreams(0))
+    assert np.all(np.diff(trace.arrival_times) >= 0)
+    first = np.sum(trace.arrival_times < 100.0) / 100.0
+    second = np.sum(trace.arrival_times >= 100.0) / 50.0
+    assert second > 2.0 * first
+
+
+# -------------------------------------------------------------------- catalog
+def test_catalog_rejects_unknown_kind_and_params():
+    with pytest.raises(ValueError, match="unknown workload kind"):
+        make_workload("weird", duration=10.0)
+    with pytest.raises(ValueError, match="unknown params"):
+        make_workload("mmpp", duration=10.0, qps=4.0, params={"spike_factor": 2.0})
+    with pytest.raises(ValueError, match="positive qps"):
+        make_workload("static", duration=10.0)
+
+
+def test_catalog_param_overrides():
+    process = make_workload(
+        "mmpp",
+        duration=100.0,
+        qps=10.0,
+        params={"burst_factor": 8.0, "dwell_burst": 5.0},
+    )
+    assert process.burst_qps == pytest.approx(8.0 * process.base_qps)
+    assert process.mean_dwell_burst == pytest.approx(5.0)
+
+    crowd = make_workload("flash-crowd", duration=100.0, qps=5.0, params={"spike_factor": 10.0})
+    assert crowd.spike_qps == pytest.approx(50.0)
+
+
+def test_cascade_qps_range_scales_with_cluster_size():
+    assert cascade_qps_range("sdturbo", 16) == (4.0, 32.0)
+    assert cascade_qps_range("sdturbo", 8) == (2.0, 16.0)
+    assert cascade_qps_range("sdxlltn", 16) == (1.0, 8.0)
+
+
+def test_mmpp_base_qps_override_rebases_the_default_burst():
+    process = make_workload("mmpp", duration=100.0, qps=10.0, params={"base_qps": 2.0})
+    assert process.base_qps == pytest.approx(2.0)
+    assert process.burst_qps == pytest.approx(8.0)  # burst_factor x the *override*
+    # A base override above the nominal-derived burst must not error either.
+    high = make_workload("mmpp", duration=100.0, qps=10.0, params={"base_qps": 30.0})
+    assert high.burst_qps == pytest.approx(120.0)
