@@ -1,0 +1,153 @@
+"""Benchmark — metrics-path throughput (summaries/sec, windowed-FID/sec).
+
+The analytics layer is the post-run cost of every grid cell: each figure is a
+reduction over per-query records.  This module builds one synthetic
+50k-record / 250-window result and tracks the columnar pipeline directly:
+
+* ``SimulationResult.summary()`` against a brute-force per-record scan
+  (the pre-columnar implementation) — must be >= 5x faster;
+* streaming ``windowed_fid`` (cumulative GaussianStats + symmetric
+  eigendecomposition against cached real moments) against the per-window
+  Gaussian-refit + ``sqrtm`` baseline — must be >= 10x faster;
+
+with both paths required to agree to ~1e-9 on the same fixed-seed data.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.query import Query, QueryRecord, QueryStage
+from repro.core.results import SimulationResult
+from repro.metrics.fid import fid_score, windowed_fid, windowed_fid_reference
+from repro.models.dataset import make_coco_like
+from repro.models.generation import FEATURE_DIM
+
+N_RECORDS = 50_000
+DURATION = 500.0
+WINDOW = 2.0  # -> 250 windows over the horizon
+SLO = 2.0
+
+#: Required speedups over the legacy per-record / per-window-sqrtm baselines.
+MIN_SUMMARY_SPEEDUP = 5.0
+MIN_WINDOWED_FID_SPEEDUP = 10.0
+
+
+@pytest.fixture(scope="module")
+def big_result() -> SimulationResult:
+    """A synthetic 50k-record run (drops, violations, both stages)."""
+    rng = np.random.default_rng(0)
+    # Paper-scale reference set (5K prompts): the legacy path re-fits this
+    # Gaussian on every call / every window, the columnar path fits it once.
+    dataset = make_coco_like(5000, seed=0)
+    records = []
+    arrivals = np.sort(rng.uniform(0.0, DURATION, size=N_RECORDS))
+    stages = rng.random(N_RECORDS)
+    service = rng.exponential(1.0, size=N_RECORDS)
+    features = rng.normal(size=(N_RECORDS, FEATURE_DIM)) + 0.2
+    qualities = rng.uniform(0.0, 1.0, size=N_RECORDS)
+    for i in range(N_RECORDS):
+        query = Query(
+            query_id=i, arrival_time=float(arrivals[i]), prompt="p",
+            difficulty=0.5, slo=SLO,
+        )
+        if stages[i] < 0.08:
+            records.append(QueryRecord(query=query, stage=QueryStage.DROPPED))
+            continue
+        records.append(
+            QueryRecord(
+                query=query,
+                stage=QueryStage.HEAVY if stages[i] < 0.4 else QueryStage.LIGHT,
+                completion_time=float(arrivals[i] + service[i]),
+                model_used="m",
+                quality=float(qualities[i]),
+                features=features[i],
+                confidence=0.5,
+                deferred=stages[i] < 0.4,
+            )
+        )
+    return SimulationResult(records=records, dataset=dataset, slo=SLO, duration=DURATION)
+
+
+def _legacy_summary(result: SimulationResult) -> dict:
+    """The pre-columnar ``summary()``: fresh per-record scans per metric."""
+    records = result.records
+    completed = [r for r in records if not r.dropped]
+    dropped = sum(1 for r in records if r.dropped)
+    violated = sum(1 for r in completed if r.slo_violated)
+    latencies = np.array([r.latency for r in completed if r.latency is not None])
+    feats = np.stack([r.features for r in completed if r.features is not None])
+    qualities = [r.quality for r in completed if r.quality is not None]
+    return {
+        "total_queries": float(len(records)),
+        "completed": float(len(completed)),
+        "fid": fid_score(feats, result.dataset.real_features),
+        "slo_violation_ratio": (violated + dropped) / len(records),
+        "deferral_rate": sum(1 for r in completed if r.stage == QueryStage.HEAVY)
+        / len(completed),
+        "dropped": float(dropped),
+        "mean_quality": float(np.mean(qualities)),
+        "mean_latency": float(latencies.mean()),
+        "p50_latency": float(np.percentile(latencies, 50)),
+        "p99_latency": float(np.percentile(latencies, 99)),
+    }
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_summary_throughput(benchmark, big_result):
+    summary = benchmark(big_result.summary)
+    reference = _legacy_summary(big_result)
+    assert set(summary) == set(reference)
+    for key in reference:
+        assert summary[key] == pytest.approx(reference[key], rel=1e-9, abs=1e-9), key
+    if benchmark.stats:
+        # min-vs-min: both paths judged by their best observed round, which
+        # is robust to scheduler noise on shared CI runners.
+        best = benchmark.stats["min"]
+        baseline = _best_of(lambda: _legacy_summary(big_result))
+        benchmark.extra_info["summaries_per_sec"] = 1.0 / best
+        benchmark.extra_info["speedup_vs_per_record"] = baseline / best
+        assert baseline / best >= MIN_SUMMARY_SPEEDUP, (
+            f"summary() only {baseline / best:.1f}x faster than the per-record scan"
+        )
+
+
+def test_bench_windowed_fid_throughput(benchmark, big_result):
+    cols = big_result.cols
+    times = cols.completion[cols.feature_index]
+    feats = cols.features
+    real_moments = big_result.dataset.real_moments
+
+    def streaming():
+        return windowed_fid(
+            times, feats, window=WINDOW, horizon=DURATION, real_moments=real_moments
+        )
+
+    centers, values = benchmark(streaming)
+    assert len(centers) == int(DURATION / WINDOW)
+    ref_centers, ref_values = windowed_fid_reference(
+        times, feats, big_result.dataset.real_features, WINDOW, DURATION
+    )
+    np.testing.assert_allclose(centers, ref_centers)
+    np.testing.assert_allclose(values, ref_values, rtol=1e-9, atol=1e-9, equal_nan=True)
+    if benchmark.stats:
+        best = benchmark.stats["min"]
+        baseline = _best_of(
+            lambda: windowed_fid_reference(
+                times, feats, big_result.dataset.real_features, WINDOW, DURATION
+            ),
+        )
+        benchmark.extra_info["windows_per_sec"] = len(centers) / best
+        benchmark.extra_info["speedup_vs_sqrtm"] = baseline / best
+        assert baseline / best >= MIN_WINDOWED_FID_SPEEDUP, (
+            f"windowed_fid only {baseline / best:.1f}x faster than the sqrtm baseline"
+        )

@@ -1,4 +1,12 @@
-"""Result collection and post-run analysis."""
+"""Result collection and post-run analysis.
+
+The analytics path is columnar: :class:`ResultCollector` maintains online
+sufficient statistics (O(1) per query) for live metrics while the simulation
+runs, and :class:`SimulationResult` reads every metric — summary scalars,
+latency percentiles, the violation/demand/FID time series — from a
+lazily-built, cached :class:`ColumnStore` of NumPy arrays instead of
+re-scanning ``QueryRecord`` objects per property.
+"""
 
 from __future__ import annotations
 
@@ -8,11 +16,15 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.query import Query, QueryRecord, QueryStage
-from repro.metrics.fid import fid_score, windowed_fid
+from repro.metrics.accumulators import GaussianStats, P2Quantile, StreamingMoments
+from repro.metrics.fid import frechet_from_moments, windowed_fid
 from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import SLOReport
 from repro.models.dataset import QueryDataset
 from repro.models.generation import GeneratedImage
+
+#: Integer codes for :class:`QueryStage` in the column store.
+STAGE_CODES = {QueryStage.LIGHT: 0, QueryStage.HEAVY: 1, QueryStage.DROPPED: 2}
 
 
 @dataclass
@@ -29,14 +41,119 @@ class ControlSnapshot:
     feasible: bool
 
 
+@dataclass(frozen=True)
+class ColumnStore:
+    """Per-query measurements as parallel NumPy columns.
+
+    One row per query that entered the system, in record order.  Dropped
+    queries carry NaN completion/latency/quality.  Feature vectors exist only
+    for completed queries that returned an image; ``feature_index`` maps those
+    rows of ``features`` back to record indices.
+    """
+
+    arrival: np.ndarray  # float, arrival time
+    deadline: np.ndarray  # float, absolute SLO deadline
+    completion: np.ndarray  # float, NaN for dropped queries
+    stage: np.ndarray  # int8 STAGE_CODES
+    quality: np.ndarray  # float, NaN where unknown
+    confidence: np.ndarray  # float, NaN where absent
+    deferred: np.ndarray  # bool
+    features: np.ndarray  # (n_feat, d) float
+    feature_index: np.ndarray  # int, record index of each features row
+
+    @classmethod
+    def from_records(cls, records: List[QueryRecord], feature_dim: int) -> "ColumnStore":
+        """Build the columns with one pass over a record list."""
+        n = len(records)
+        arrival = np.empty(n)
+        deadline = np.empty(n)
+        completion = np.full(n, np.nan)
+        stage = np.empty(n, dtype=np.int8)
+        quality = np.full(n, np.nan)
+        confidence = np.full(n, np.nan)
+        deferred = np.zeros(n, dtype=bool)
+        feats: List[np.ndarray] = []
+        feat_idx: List[int] = []
+        for i, r in enumerate(records):
+            arrival[i] = r.query.arrival_time
+            deadline[i] = r.query.deadline
+            stage[i] = STAGE_CODES[r.stage]
+            if r.completion_time is not None:
+                completion[i] = r.completion_time
+            if r.quality is not None:
+                quality[i] = r.quality
+            if r.confidence is not None:
+                confidence[i] = r.confidence
+            deferred[i] = r.deferred
+            if r.features is not None:
+                feats.append(r.features)
+                feat_idx.append(i)
+        features = np.stack(feats) if feats else np.zeros((0, feature_dim))
+        return cls(
+            arrival=arrival,
+            deadline=deadline,
+            completion=completion,
+            stage=stage,
+            quality=quality,
+            confidence=confidence,
+            deferred=deferred,
+            features=features,
+            feature_index=np.asarray(feat_idx, dtype=np.int64),
+        )
+
+    def __len__(self) -> int:
+        return len(self.arrival)
+
+    # -------------------------------------------------------- derived masks
+    @property
+    def dropped(self) -> np.ndarray:
+        """Boolean mask of dropped queries."""
+        return self.stage == STAGE_CODES[QueryStage.DROPPED]
+
+    @property
+    def completed(self) -> np.ndarray:
+        """Boolean mask of queries that received a response."""
+        return ~self.dropped
+
+    @property
+    def latency(self) -> np.ndarray:
+        """End-to-end latency per query (NaN for dropped queries)."""
+        return self.completion - self.arrival
+
+    @property
+    def violated(self) -> np.ndarray:
+        """Boolean mask of SLO violations (dropped or completed late)."""
+        late = np.zeros(len(self), dtype=bool)
+        done = self.completed
+        late[done] = self.completion[done] > self.deadline[done]
+        return late | self.dropped
+
+
 class ResultCollector:
-    """Sink of the data path: stores one :class:`QueryRecord` per query."""
+    """Sink of the data path: one :class:`QueryRecord` per query, plus
+    online accumulators maintained as queries finish.
+
+    The record list keeps the fully general per-query view (the column store
+    is built from it lazily, in one vectorized pass, by the result); the
+    streaming accumulators (:class:`~repro.metrics.accumulators.GaussianStats`
+    over response features, :class:`~repro.metrics.accumulators.StreamingMoments`
+    + :class:`~repro.metrics.accumulators.P2Quantile` over latency) expose
+    O(1) live metrics mid-run.
+    """
 
     def __init__(self, dataset: QueryDataset) -> None:
         self.dataset = dataset
         self.records: List[QueryRecord] = []
         self._violations_window = 0
         self._completions_window = 0
+        # Online accumulators for live metrics.
+        self.feature_stats = GaussianStats(dataset.real_features.shape[1])
+        self.latency_moments = StreamingMoments()
+        self.latency_p99 = P2Quantile(0.99)
+        self._completed = 0
+        self._dropped = 0
+        self._violated = 0
+        self._heavy = 0
 
     # ------------------------------------------------------------- data path
     def complete(
@@ -61,13 +178,23 @@ class ResultCollector:
         )
         self.records.append(record)
         self._completions_window += 1
+        self._completed += 1
+        if stage == QueryStage.HEAVY:
+            self._heavy += 1
         if record.slo_violated:
             self._violations_window += 1
+            self._violated += 1
+        latency = completion_time - query.arrival_time
+        self.latency_moments.add(latency)
+        self.latency_p99.add(latency)
+        if record.features is not None:
+            self.feature_stats.add(record.features)
 
     def drop(self, query: Query) -> None:
         """Record a dropped query."""
         self.records.append(QueryRecord(query=query, stage=QueryStage.DROPPED))
         self._violations_window += 1
+        self._dropped += 1
 
     # ----------------------------------------------------------- control path
     def window_stats(self) -> Tuple[int, int]:
@@ -77,10 +204,43 @@ class ResultCollector:
         self._completions_window = 0
         return stats
 
+    # ------------------------------------------------------------ live views
+    def running_fid(self) -> float:
+        """FID of all responses so far, from the streaming sufficient stats.
+
+        O(d^2) regardless of how many queries have completed: the generated
+        moments come from the online :class:`GaussianStats` and the reference
+        moments are cached on the dataset.
+        """
+        if self.feature_stats.count < 2:
+            return float("nan")
+        return frechet_from_moments(
+            self.feature_stats.mean, self.feature_stats.cov(), self.dataset.real_moments
+        )
+
+    def running_summary(self) -> Dict[str, float]:
+        """O(1) live headline metrics (usable while the run is in flight)."""
+        total = self._completed + self._dropped
+        return {
+            "total_queries": float(total),
+            "completed": float(self._completed),
+            "dropped": float(self._dropped),
+            "slo_violation_ratio": (self._violated + self._dropped) / total if total else 0.0,
+            "deferral_rate": self._heavy / self._completed if self._completed else 0.0,
+            "mean_latency": self.latency_moments.mean if self._completed else float("nan"),
+            "p99_latency": self.latency_p99.value,
+            "fid": self.running_fid(),
+        }
+
 
 @dataclass
 class SimulationResult:
-    """Everything measured during one serving simulation run."""
+    """Everything measured during one serving simulation run.
+
+    All metrics read the cached column store (built lazily from ``records``
+    in one pass on first access), so repeated ``summary()`` / time-series
+    calls never re-scan the per-query objects.
+    """
 
     records: List[QueryRecord]
     dataset: QueryDataset
@@ -90,6 +250,21 @@ class SimulationResult:
     allocator_solve_times: List[float] = field(default_factory=list)
     system_name: str = "system"
 
+    # ------------------------------------------------------------ column view
+    @property
+    def cols(self) -> ColumnStore:
+        """The column store behind every metric (built once, lazily).
+
+        A non-field cached attribute (like ``completed_records``) so it never
+        participates in the dataclass constructor, ``replace()``, or ``__eq__``
+        — a stale store can't be injected alongside fresh records.
+        """
+        cached = getattr(self, "_columns", None)
+        if cached is None:
+            cached = ColumnStore.from_records(self.records, self.dataset.real_features.shape[1])
+            self._columns = cached
+        return cached
+
     # ------------------------------------------------------------ accounting
     @property
     def total_queries(self) -> int:
@@ -98,23 +273,28 @@ class SimulationResult:
 
     @property
     def completed_records(self) -> List[QueryRecord]:
-        """Records of queries that received a response."""
-        return [r for r in self.records if not r.dropped]
+        """Records of queries that received a response (cached)."""
+        cached = getattr(self, "_completed_records", None)
+        if cached is None:
+            cached = [r for r in self.records if not r.dropped]
+            self._completed_records = cached
+        return cached
 
     @property
     def dropped_count(self) -> int:
         """Number of dropped queries."""
-        return sum(1 for r in self.records if r.dropped)
+        return int(self.cols.dropped.sum())
 
     def slo_report(self) -> SLOReport:
         """Aggregate SLO accounting for the whole run."""
-        completed = self.completed_records
-        violated = sum(1 for r in completed if r.slo_violated)
+        cols = self.cols
+        completed = int(cols.completed.sum())
+        violated = int((cols.violated & cols.completed).sum())
         return SLOReport(
-            total=self.total_queries,
-            completed=len(completed),
+            total=len(cols),
+            completed=completed,
             violated=violated,
-            dropped=self.dropped_count,
+            dropped=len(cols) - completed,
         )
 
     @property
@@ -125,67 +305,69 @@ class SimulationResult:
     @property
     def deferral_rate(self) -> float:
         """Fraction of completed queries answered by the heavy model."""
-        completed = self.completed_records
+        cols = self.cols
+        completed = int(cols.completed.sum())
         if not completed:
             return 0.0
-        return sum(1 for r in completed if r.stage == QueryStage.HEAVY) / len(completed)
+        heavy = int((cols.stage == STAGE_CODES[QueryStage.HEAVY]).sum())
+        return heavy / completed
 
     def latency_stats(self) -> LatencyStats:
-        """Latency summary over completed queries."""
-        return LatencyStats.from_latencies(
-            [r.latency for r in self.completed_records if r.latency is not None]
-        )
+        """Latency summary over completed queries (single-array, no copies)."""
+        latencies = self.cols.latency
+        return LatencyStats.from_latencies(latencies[np.isfinite(latencies)])
 
     # --------------------------------------------------------------- quality
     def response_features(self) -> np.ndarray:
         """Feature matrix of all returned images."""
-        feats = [r.features for r in self.completed_records if r.features is not None]
-        if not feats:
-            return np.zeros((0, self.dataset.real_features.shape[1]))
-        return np.stack(feats)
+        return self.cols.features
 
     def fid(self) -> float:
         """FID of the returned images against the dataset's real features."""
         feats = self.response_features()
         if len(feats) < 2:
             return float("nan")
-        return fid_score(feats, self.dataset.real_features)
+        stats = GaussianStats.from_features(feats)
+        return frechet_from_moments(stats.mean, stats.cov(), self.dataset.real_moments)
 
     def mean_quality(self) -> float:
         """Average latent quality of returned images (oracle view, for tests)."""
-        qualities = [r.quality for r in self.completed_records if r.quality is not None]
-        return float(np.mean(qualities)) if qualities else float("nan")
+        quality = self.cols.quality
+        known = np.isfinite(quality)
+        return float(quality[known].mean()) if known.any() else float("nan")
 
     # ------------------------------------------------------------ timeseries
     def fid_timeseries(self, window: float = 20.0) -> Tuple[np.ndarray, np.ndarray]:
-        """FID over completion-time windows."""
-        completed = [r for r in self.completed_records if r.features is not None]
-        if not completed:
+        """FID over completion-time windows (streaming, cached real moments)."""
+        cols = self.cols
+        if not len(cols.features):
             return np.zeros(0), np.zeros(0)
-        times = np.array([r.completion_time for r in completed])
-        feats = np.stack([r.features for r in completed])
-        return windowed_fid(times, feats, self.dataset.real_features, window, self.duration)
+        times = cols.completion[cols.feature_index]
+        return windowed_fid(
+            times,
+            cols.features,
+            window=window,
+            horizon=self.duration,
+            real_moments=self.dataset.real_moments,
+        )
 
     def violation_timeseries(self, window: float = 20.0) -> Tuple[np.ndarray, np.ndarray]:
         """SLO violation ratio over arrival-time windows."""
+        cols = self.cols
         edges = np.arange(0.0, self.duration + window, window)
         centers = (edges[:-1] + edges[1:]) / 2.0
-        ratios = np.zeros(len(centers))
-        for i, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
-            in_window = [r for r in self.records if lo <= r.query.arrival_time < hi]
-            if not in_window:
-                ratios[i] = 0.0
-                continue
-            bad = sum(1 for r in in_window if r.slo_violated)
-            ratios[i] = bad / len(in_window)
+        idx = np.searchsorted(edges, cols.arrival, side="right") - 1
+        in_range = (idx >= 0) & (idx < len(centers))
+        totals = np.bincount(idx[in_range], minlength=len(centers)).astype(float)
+        bad = np.bincount(idx[in_range & cols.violated], minlength=len(centers))
+        ratios = np.where(totals > 0, bad / np.maximum(totals, 1.0), 0.0)
         return centers, ratios
 
     def demand_timeseries(self, window: float = 20.0) -> Tuple[np.ndarray, np.ndarray]:
         """Observed arrival rate over time."""
         edges = np.arange(0.0, self.duration + window, window)
         centers = (edges[:-1] + edges[1:]) / 2.0
-        arrivals = np.array([r.query.arrival_time for r in self.records])
-        counts, _ = np.histogram(arrivals, bins=edges)
+        counts, _ = np.histogram(self.cols.arrival, bins=edges)
         return centers, counts / window
 
     def threshold_timeseries(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -200,12 +382,16 @@ class SimulationResult:
     def summary(self) -> Dict[str, float]:
         """Headline metrics as a flat dict (used by the benchmark harness)."""
         stats = self.latency_stats()
+        report = self.slo_report()
         return {
-            "total_queries": float(self.total_queries),
+            "total_queries": float(report.total),
+            "completed": float(report.completed),
             "fid": self.fid(),
-            "slo_violation_ratio": self.slo_violation_ratio,
+            "slo_violation_ratio": report.violation_ratio,
             "deferral_rate": self.deferral_rate,
-            "dropped": float(self.dropped_count),
+            "dropped": float(report.dropped),
+            "mean_quality": self.mean_quality(),
             "mean_latency": stats.mean,
+            "p50_latency": stats.p50,
             "p99_latency": stats.p99,
         }

@@ -91,6 +91,7 @@ class Worker(Actor):
 
         self.queue: Deque[WorkItem] = deque()
         self.busy = False
+        self._dispatching = False
         self.stats = WorkerStats()
         self.profiled = ProfiledTable(profile=variant.latency)
         self._rng = sim.rng.spawn("worker-latency", worker_id)
@@ -147,27 +148,35 @@ class Worker(Actor):
         return latency
 
     def _maybe_start_batch(self) -> None:
-        if self.busy or not self.queue:
+        # Loop, not tail-recursion: a flash crowd can leave thousands of
+        # already-late queries in the queue, and dropping each dequeued wave
+        # must not add a stack frame per wave.  The guard stops ``on_drop``
+        # handlers that synchronously re-enqueue (retry/resubmit policies)
+        # from re-entering; the loop re-checks the queue each wave, so items
+        # they add are still picked up before it exits.
+        if self._dispatching:
             return
-        batch: List[WorkItem] = []
-        exec_estimate = self._predicted_exec_latency(min(self.batch_size, len(self.queue)))
-        while self.queue and len(batch) < self.batch_size:
-            item = self.queue.popleft()
-            if (
-                self.drop_late
-                and self.now + exec_estimate > item.query.deadline
-            ):
-                self.stats.drops += 1
-                if self.on_drop is not None:
-                    self.on_drop(item)
-                continue
-            batch.append(item)
-        if not batch:
-            # Everything dequeued was dropped; try again if more arrived.
-            if self.queue:
-                self._maybe_start_batch()
-            return
-        self.busy = True
+        self._dispatching = True
+        try:
+            batch: List[WorkItem] = []
+            while not batch:
+                if self.busy or not self.queue:
+                    return
+                exec_estimate = self._predicted_exec_latency(min(self.batch_size, len(self.queue)))
+                while self.queue and len(batch) < self.batch_size:
+                    item = self.queue.popleft()
+                    if (
+                        self.drop_late
+                        and self.now + exec_estimate > item.query.deadline
+                    ):
+                        self.stats.drops += 1
+                        if self.on_drop is not None:
+                            self.on_drop(item)
+                        continue
+                    batch.append(item)
+            self.busy = True
+        finally:
+            self._dispatching = False
         latency = self.variant.latency.sample_latency(len(batch), self._rng)
         if self.discriminator is not None:
             latency += self.discriminator.latency_s * len(batch)

@@ -15,9 +15,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.discriminators.base import Discriminator
-from repro.metrics.fid import fid_score
+from repro.metrics.fid import RealMoments, fid_score
 from repro.models.dataset import QueryDataset
-from repro.models.generation import GeneratedImage, ImageGenerator
+from repro.models.generation import ImageGenerator
 from repro.models.variants import ModelVariant
 
 
@@ -74,6 +74,24 @@ class CascadeEvaluator:
         n = len(self.dataset) if self.n_queries is None else min(self.n_queries, len(self.dataset))
         return np.arange(n)
 
+    def _real_moments(self) -> RealMoments:
+        """Reference moments of the evaluated slice, fit once per evaluator.
+
+        Every threshold of every sweep scores against the same real features;
+        caching the fit (and its matrix square root) makes each sweep point an
+        eigendecomposition instead of a Gaussian re-fit plus ``sqrtm``.  When
+        the evaluator covers the whole dataset, the dataset's own cached
+        moments are shared instead of re-fit.
+        """
+        ids = self._query_ids()
+        if len(ids) == len(self.dataset):
+            return self.dataset.real_moments
+        moments = getattr(self, "_cached_real_moments", None)
+        if moments is None:
+            moments = RealMoments.fit(self.dataset.real_features[ids])
+            self._cached_real_moments = moments
+        return moments
+
     def generate_pairs(self) -> tuple:
         """(light images, heavy images) for every evaluated prompt."""
         ids = self._query_ids()
@@ -92,12 +110,11 @@ class CascadeEvaluator:
         light_images, heavy_images = self.generate_pairs()
         images = light_images if which == "light" else heavy_images
         variant = self.light if which == "light" else self.heavy
-        ids = self._query_ids()
         feats = np.stack([img.features for img in images])
         return CascadePoint(
             threshold=0.0 if which == "light" else 1.0,
             deferral_fraction=0.0 if which == "light" else 1.0,
-            fid=fid_score(feats, self.dataset.real_features[ids]),
+            fid=fid_score(feats, real_moments=self._real_moments()),
             mean_latency=variant.execution_latency(1),
             mean_quality=float(np.mean([img.quality for img in images])),
         )
@@ -110,30 +127,32 @@ class CascadeEvaluator:
         label: Optional[str] = None,
     ) -> CascadeCurve:
         """Threshold sweep of the cascade guided by ``discriminator``."""
-        ids = self._query_ids()
         light_images, heavy_images = self.generate_pairs()
         confidences = discriminator.confidence_batch(light_images)
         light_latency = self.light.execution_latency(1) + self.discriminator_latency
         heavy_latency = self.heavy.execution_latency(1)
-        real = self.dataset.real_features[ids]
+        moments = self._real_moments()
+        # Columnar views of both arms: each sweep point is then a vectorized
+        # row-select instead of a per-image Python loop.
+        light_feats = np.stack([img.features for img in light_images])
+        heavy_feats = np.stack([img.features for img in heavy_images])
+        light_quality = np.array([img.quality for img in light_images])
+        heavy_quality = np.array([img.quality for img in heavy_images])
 
         curve = CascadeCurve(label=label or discriminator.name)
         for threshold in thresholds:
             if not 0.0 <= threshold <= 1.0:
                 raise ValueError("thresholds must lie in [0, 1]")
             deferred = confidences < threshold
-            images: List[GeneratedImage] = [
-                heavy_images[i] if deferred[i] else light_images[i] for i in range(len(ids))
-            ]
-            feats = np.stack([img.features for img in images])
+            feats = np.where(deferred[:, None], heavy_feats, light_feats)
             fraction = float(np.mean(deferred))
             curve.points.append(
                 CascadePoint(
                     threshold=float(threshold),
                     deferral_fraction=fraction,
-                    fid=fid_score(feats, real),
+                    fid=fid_score(feats, real_moments=moments),
                     mean_latency=light_latency + fraction * heavy_latency,
-                    mean_quality=float(np.mean([img.quality for img in images])),
+                    mean_quality=float(np.mean(np.where(deferred, heavy_quality, light_quality))),
                 )
             )
         return curve
@@ -147,21 +166,24 @@ class CascadeEvaluator:
         rng = np.random.default_rng(seed)
         light_latency = self.light.execution_latency(1)
         heavy_latency = self.heavy.execution_latency(1)
-        real = self.dataset.real_features[ids]
+        moments = self._real_moments()
+        light_feats = np.stack([img.features for img in light_images])
+        heavy_feats = np.stack([img.features for img in heavy_images])
+        light_quality = np.array([img.quality for img in light_images])
+        heavy_quality = np.array([img.quality for img in heavy_images])
         curve = CascadeCurve(label=label)
         for fraction in fractions:
             if not 0.0 <= fraction <= 1.0:
                 raise ValueError("fractions must lie in [0, 1]")
             deferred = rng.random(len(ids)) < fraction
-            images = [heavy_images[i] if deferred[i] else light_images[i] for i in range(len(ids))]
-            feats = np.stack([img.features for img in images])
+            feats = np.where(deferred[:, None], heavy_feats, light_feats)
             curve.points.append(
                 CascadePoint(
                     threshold=float(fraction),
                     deferral_fraction=float(np.mean(deferred)),
-                    fid=fid_score(feats, real),
+                    fid=fid_score(feats, real_moments=moments),
                     mean_latency=light_latency + float(np.mean(deferred)) * heavy_latency,
-                    mean_quality=float(np.mean([img.quality for img in images])),
+                    mean_quality=float(np.mean(np.where(deferred, heavy_quality, light_quality))),
                 )
             )
         return curve

@@ -90,17 +90,22 @@ def run_fig1c(
         generator.generate(int(i), dataset.difficulty(int(i)), cascade.heavy) for i in ids
     ]
     confidences = discriminator.confidence_batch(light_images)
-    real = dataset.real_features
+    light_feats = np.stack([img.features for img in light_images])
+    heavy_feats = np.stack([img.features for img in heavy_images])
+    # Fit once per dataset (cached): each threshold's FID is then a single
+    # eigendecomposition instead of a reference re-fit plus sqrtm.
+    moments = dataset.real_moments
 
     # Pre-compute FID and deferral fraction per threshold (independent of placement).
     thresholds = np.linspace(0.0, 1.0, n_thresholds)
     per_threshold: Dict[float, Tuple[float, float]] = {}
     for threshold in thresholds:
         deferred = confidences < threshold
-        feats = np.stack(
-            [heavy_images[i].features if deferred[i] else light_images[i].features for i in ids]
+        feats = np.where(deferred[:, None], heavy_feats, light_feats)
+        per_threshold[float(threshold)] = (
+            float(np.mean(deferred)),
+            fid_score(feats, real_moments=moments),
         )
-        per_threshold[float(threshold)] = (float(np.mean(deferred)), fid_score(feats, real))
 
     result = Fig1cResult()
     for threshold, (fraction, fid) in per_threshold.items():

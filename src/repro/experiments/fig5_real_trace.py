@@ -38,14 +38,25 @@ class Fig5Result:
         return self.comparison.results
 
     def timeseries(self, system: str) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
-        """Demand, FID and violation time series of one system."""
-        res = self.results[system]
-        return {
-            "demand": res.demand_timeseries(self.window),
-            "fid": res.fid_timeseries(self.window),
-            "violation": res.violation_timeseries(self.window),
-            "threshold": res.threshold_timeseries(),
-        }
+        """Demand, FID and violation time series of one system (cached).
+
+        The series are pure functions of the (immutable) run results, so each
+        system's bundle is computed once however many panels consume it.
+        """
+        cache = getattr(self, "_timeseries_cache", None)
+        if cache is None:
+            cache = {}
+            self._timeseries_cache = cache
+        key = (system, self.window)
+        if key not in cache:
+            res = self.results[system]
+            cache[key] = {
+                "demand": res.demand_timeseries(self.window),
+                "fid": res.fid_timeseries(self.window),
+                "violation": res.violation_timeseries(self.window),
+                "threshold": res.threshold_timeseries(),
+            }
+        return cache[key]
 
     def quality_improvement_over(self, baseline: str, system: str = "diffserve") -> float:
         """Relative FID improvement of ``system`` over ``baseline`` (positive = better)."""

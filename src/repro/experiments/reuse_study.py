@@ -72,12 +72,12 @@ def run_reuse_study(
             )
             for i in ids
         ]
-        real = dataset.real_features
+        moments = dataset.real_moments
         result.fid_without_reuse[cascade_name] = fid_score(
-            np.stack([img.features for img in fresh]), real
+            np.stack([img.features for img in fresh]), real_moments=moments
         )
         result.fid_with_reuse[cascade_name] = fid_score(
-            np.stack([img.features for img in reused]), real
+            np.stack([img.features for img in reused]), real_moments=moments
         )
     return result
 

@@ -1,13 +1,26 @@
 """Evaluation metrics: FID, SLO violation accounting, latency statistics, Pareto utilities."""
 
-from repro.metrics.fid import frechet_distance, fid_score
+from repro.metrics.accumulators import GaussianStats, P2Quantile, StreamingMoments
+from repro.metrics.fid import (
+    RealMoments,
+    fid_score,
+    frechet_distance,
+    frechet_from_moments,
+    windowed_fid,
+)
 from repro.metrics.latency import LatencyStats, percentile
 from repro.metrics.pareto import ParetoPoint, pareto_frontier, is_pareto_dominated
 from repro.metrics.slo import SLOReport, SLOTracker
 
 __all__ = [
+    "GaussianStats",
+    "P2Quantile",
+    "StreamingMoments",
+    "RealMoments",
     "frechet_distance",
+    "frechet_from_moments",
     "fid_score",
+    "windowed_fid",
     "LatencyStats",
     "percentile",
     "ParetoPoint",

@@ -7,12 +7,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.metrics.accumulators import as_float_array
+
 
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0-100) of ``values``; NaN for empty input."""
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
-    arr = np.asarray(list(values), dtype=float)
+    arr = as_float_array(values)
     if arr.size == 0:
         return float("nan")
     return float(np.percentile(arr, q))
@@ -31,8 +33,12 @@ class LatencyStats:
 
     @classmethod
     def from_latencies(cls, latencies: Sequence[float]) -> "LatencyStats":
-        """Build a summary from raw latency samples."""
-        arr = np.asarray(list(latencies), dtype=float)
+        """Build a summary from raw latency samples.
+
+        ndarray input is used as-is (no per-element copy) — the columnar
+        results path hands the latency column straight in.
+        """
+        arr = as_float_array(latencies)
         if arr.size == 0:
             nan = float("nan")
             return cls(count=0, mean=nan, p50=nan, p95=nan, p99=nan, maximum=nan)

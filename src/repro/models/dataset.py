@@ -14,6 +14,7 @@ from typing import List
 
 import numpy as np
 
+from repro.metrics.fid import RealMoments
 from repro.models.difficulty import COCO_DIFFICULTY, DIFFUSIONDB_DIFFICULTY, DifficultyModel
 from repro.models.generation import FEATURE_DIM
 
@@ -71,6 +72,24 @@ class QueryDataset:
 
     def __len__(self) -> int:
         return len(self.prompts)
+
+    @property
+    def real_moments(self) -> RealMoments:
+        """Moments (mu_r, Sigma_r, Sigma_r^{1/2}) of the reference features.
+
+        Fit once per dataset instance and cached, so every FID evaluation in
+        a grid cell — the headline score, each window of a time series, each
+        threshold of a sweep — shares one reference Gaussian fit and one
+        matrix square root.  ``real_features`` is treated as immutable after
+        construction (mutating it would stale this cache).
+        """
+        # getattr: instances unpickled from caches written before this
+        # attribute existed have no _real_moments in their __dict__.
+        moments = getattr(self, "_real_moments", None)
+        if moments is None:
+            moments = RealMoments.fit(self.real_features)
+            self._real_moments = moments
+        return moments
 
     def difficulty(self, query_id: int) -> float:
         """Latent difficulty of query ``query_id`` (index modulo dataset size)."""

@@ -21,7 +21,9 @@ from repro.experiments.harness import ExperimentScale
 #: simulator semantics, summary schema, ...) to invalidate every old entry.
 #: v2: arrival sampling moved onto the workload scenario engine
 #: (RandomStreams-derived arrival streams instead of ad-hoc generators).
-CACHE_SCHEMA_VERSION = 2
+#: v3: columnar metrics pipeline — summaries gained completed / mean_quality /
+#: p50_latency keys and FID moved to the cached-real-moments evaluation.
+CACHE_SCHEMA_VERSION = 3
 
 #: The standard five-system comparison run by most figures.
 DEFAULT_SYSTEMS: Tuple[str, ...] = (

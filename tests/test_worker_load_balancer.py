@@ -363,3 +363,58 @@ def test_observed_deferral_rate_mixed_window():
 
     stats = LoadBalancerStats(deferred=1, returned_light=3)
     assert stats.observed_deferral_rate == pytest.approx(0.25)
+
+
+# --------------------------------------------------- drop-wave stack safety
+def test_worker_drop_wave_of_stale_queries_does_not_recurse():
+    """A flash crowd of already-late queries must drain iteratively.
+
+    Regression test: ``_maybe_start_batch`` used to recurse once per dropped
+    wave, so thousands of stale queries (each wave fully dropped at dequeue
+    time) blew the interpreter stack.  With ``batch_size=1`` every dropped
+    query is its own wave — recursion would go ``n`` frames deep.
+    """
+    sim = Simulator(seed=0)
+    drops = []
+    worker = make_worker(sim, batch_size=1, on_drop=drops.append)
+    worker.busy = True  # hold the worker so the stale queue builds up
+    n = 5000  # far past the default recursion limit
+    for i in range(n):
+        worker.enqueue(WorkItem(query=make_query(i, slo=1e-9), stage="light", enqueue_time=0.0))
+    worker.busy = False
+    worker._maybe_start_batch()  # RecursionError under the old implementation
+    assert len(drops) == n
+    assert worker.stats.drops == n
+    assert worker.queue_length == 0
+    assert not worker.busy
+
+
+def test_worker_drop_resubmit_chain_does_not_recurse():
+    """An ``on_drop`` handler that re-enqueues must not recurse per wave.
+
+    Regression test for the deeper failure mode: each drop triggering a
+    synchronous resubmit of another already-late query used to chain
+    ``enqueue -> _maybe_start_batch -> on_drop -> enqueue -> ...`` one stack
+    frame per drop wave.
+    """
+    sim = Simulator(seed=0)
+    state = {"resubmitted": 0}
+    n = 5000  # far past the default recursion limit
+
+    def resubmit(_item):
+        if state["resubmitted"] < n:
+            state["resubmitted"] += 1
+            worker.enqueue(
+                WorkItem(
+                    query=make_query(state["resubmitted"], slo=1e-9),
+                    stage="light",
+                    enqueue_time=0.0,
+                )
+            )
+
+    worker = make_worker(sim, batch_size=1, on_drop=resubmit)
+    worker.enqueue(WorkItem(query=make_query(0, slo=1e-9), stage="light", enqueue_time=0.0))
+    assert state["resubmitted"] == n
+    assert worker.stats.drops == n + 1
+    assert worker.queue_length == 0
+    assert not worker.busy
