@@ -49,7 +49,10 @@ class ClipperPolicy(AllocationPolicy):
         self.batch_candidates = tuple(batch_candidates)
         self.headroom = headroom
 
-    def plan(self, ctx: ControlContext) -> AllocationPlan:
+    def plan(
+        self, ctx: ControlContext, *, warm_start: Optional[AllocationPlan] = None
+    ) -> AllocationPlan:
+        # The allocation is static; a warm start carries no information.
         batch = _largest_safe_batch(self.variant, ctx.slo, self.batch_candidates, self.headroom)
         return AllocationPlan(
             num_light=ctx.num_workers,

@@ -84,7 +84,11 @@ class ProteusPolicy(AllocationPolicy):
         return sorted(feasible, key=lambda v: v.quality.base_quality, reverse=True)
 
     # ------------------------------------------------------------------ plan
-    def plan(self, ctx: ControlContext) -> AllocationPlan:
+    def plan(
+        self, ctx: ControlContext, *, warm_start: Optional[AllocationPlan] = None
+    ) -> AllocationPlan:
+        # Proteus re-derives its split from scratch each period; the closed
+        # form below is already O(|candidates|), so no warm start is needed.
         slo = ctx.slo
         S = ctx.num_workers
         demand = max(ctx.demand, 1e-3) * self.over_provision

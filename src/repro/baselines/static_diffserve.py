@@ -34,7 +34,10 @@ class PeakProvisionedPolicy(AllocationPolicy):
         self.anticipated_peak_qps = anticipated_peak_qps
         self._plan: Optional[AllocationPlan] = None
 
-    def plan(self, ctx: ControlContext) -> AllocationPlan:
+    def plan(
+        self, ctx: ControlContext, *, warm_start: Optional[AllocationPlan] = None
+    ) -> AllocationPlan:
+        # Peak provisioning happens exactly once; warm starts are moot.
         if self._plan is None:
             peak_ctx = ControlContext(
                 demand=self.anticipated_peak_qps,

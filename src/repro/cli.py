@@ -24,6 +24,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import (
+    drift_adaptation,
     fig1_motivation,
     fig1_pareto,
     fig4_static,
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig9": ("Figure 9 SLO sensitivity", fig9_slo_sensitivity.main),
     "milp": ("Section 4.5 MILP solver overhead", milp_overhead.main),
     "reuse": ("Section 5 reuse study", reuse_study.main),
+    "drift": ("Drift adaptation: static vs. online re-planned plans", drift_adaptation.main),
 }
 
 
@@ -97,8 +99,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload-params",
         default=None,
         help=(
-            "comma-separated key=value floats forwarded to the workload catalog, "
-            "e.g. 'burst_factor=6,dwell_burst=5' for mmpp"
+            "workload knobs, either comma-separated key=value floats "
+            "('burst_factor=6,dwell_burst=5') or a JSON object "
+            "('{\"burst_factor\": 6}'), forwarded to the workload catalog"
+        ),
+    )
+    runner.add_argument(
+        "--replan-epoch",
+        type=float,
+        default=None,
+        help=(
+            "enable DiffServe's online re-planning control plane with this epoch "
+            "(seconds); becomes a cached grid dimension"
+        ),
+    )
+    runner.add_argument(
+        "--replan-policy",
+        choices=["static", "periodic", "adaptive"],
+        default=None,
+        help=(
+            "re-plan policy for --replan-epoch (defaults to 'periodic' when an "
+            "epoch is given); 'adaptive' only re-solves on demand drift or SLO "
+            "pressure"
         ),
     )
     runner.add_argument("--jobs", type=int, default=1, help="worker processes for 'run'")
@@ -145,9 +167,29 @@ def list_experiments() -> str:
 
 
 def parse_workload_params(text: Optional[str]) -> Dict[str, float]:
-    """Parse a ``--workload-params`` string (comma-separated ``key=value`` floats)."""
-    params: Dict[str, float] = {}
-    for part in (text or "").split(","):
+    """Parse a ``--workload-params`` string.
+
+    Accepts comma-separated ``key=value`` floats or a JSON object; every
+    failure mode raises :class:`ValueError` with a one-line message naming
+    the bad key (or the JSON syntax error), which the ``run`` command turns
+    into a clean CLI error instead of a traceback.
+    """
+    stripped = (text or "").strip()
+    if stripped.startswith(("{", "[")):
+        try:
+            decoded = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed JSON for --workload-params: {exc}") from exc
+        if not isinstance(decoded, dict):
+            raise ValueError("--workload-params JSON must be an object of key: number pairs")
+        params: Dict[str, float] = {}
+        for key, value in decoded.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"workload param {key!r} must be a number, got {value!r}")
+            params[str(key)] = float(value)
+        return params
+    params = {}
+    for part in stripped.split(","):
         part = part.strip()
         if not part:
             continue
@@ -170,6 +212,8 @@ def parse_grid(
     *,
     workloads: Optional[str] = None,
     workload_params: Optional[str] = None,
+    replan_epoch: Optional[float] = None,
+    replan_policy: Optional[str] = None,
 ):
     """Build an :class:`~repro.runner.spec.ExperimentGrid` from a ``--grid`` spec.
 
@@ -180,7 +224,12 @@ def parse_grid(
 
     ``workloads``/``workload_params`` (the ``--workload``/``--workload-params``
     flags) override the ``workloads=`` grid key; each workload kind crossed
-    with each ``qps`` value (if any) becomes one trace axis entry.
+    with each ``qps`` value (if any) becomes one trace axis entry.  Workload
+    parameter *values* are validated eagerly (the scenario is instantiated
+    once per trace axis entry), so a bad knob fails the parse with a one-line
+    error instead of surfacing as a traceback from inside a grid cell.
+    ``replan_epoch``/``replan_policy`` (the ``--replan-*`` flags) attach the
+    online re-planning control plane to every cell as cached grid params.
     """
     from repro.runner.spec import DEFAULT_SYSTEMS, ExperimentGrid, TraceSpec
 
@@ -231,7 +280,22 @@ def parse_grid(
         for kind in kinds
         for q in (qps or [None])
     ]
+    from repro.workloads import validate_workload
+
+    for trace in traces:
+        # Instantiate each scenario once so out-of-range values (not just
+        # unknown keys) fail the parse with the offending key named.
+        validate_workload(
+            trace.kind, trace.params_dict(), qps=trace.qps, duration=scale.trace_duration
+        )
     params_list = [{"slo": s} for s in slos] or [{}]
+    replan: Dict[str, object] = {}
+    if replan_epoch is not None:
+        replan["replan_epoch"] = float(replan_epoch)
+    if replan_policy is not None:
+        replan["replan_policy"] = replan_policy
+    if replan:
+        params_list = [{**params, **replan} for params in params_list]
     scales = [replace(scale, seed=s) for s in seeds]
     return ExperimentGrid.product(
         cascades=cascades,
@@ -255,6 +319,8 @@ def run_grid_command(args: argparse.Namespace) -> int:
             scale,
             workloads=args.workload,
             workload_params=args.workload_params,
+            replan_epoch=args.replan_epoch,
+            replan_policy=args.replan_policy,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

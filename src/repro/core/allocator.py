@@ -27,7 +27,9 @@ import numpy as np
 from repro.core.queueing import LittlesLawModel, QueueingModel
 from repro.discriminators.deferral import DeferralProfile
 from repro.milp.branch_and_bound import BranchAndBoundSolver
+from repro.milp.exhaustive import ExhaustiveSolver
 from repro.milp.problem import MILPProblem
+from repro.milp.solution import MILPSolution
 from repro.models.variants import ModelVariant
 
 
@@ -114,11 +116,14 @@ class DiffServeAllocator:
         over_provision: float = 1.05,
         solver: Optional[BranchAndBoundSolver] = None,
         min_light_workers: int = 1,
+        exhaustive_cutoff: int = 0,
     ) -> None:
         if over_provision < 1.0:
             raise ValueError("over_provision must be >= 1.0")
         if threshold_levels < 2:
             raise ValueError("threshold_levels must be >= 2")
+        if exhaustive_cutoff < 0:
+            raise ValueError("exhaustive_cutoff must be non-negative")
         self.light = light
         self.heavy = heavy
         self.deferral_profile = deferral_profile
@@ -128,9 +133,25 @@ class DiffServeAllocator:
         self.over_provision = over_provision
         self.solver = solver or BranchAndBoundSolver()
         self.min_light_workers = min_light_workers
+        #: Below this integral-search-space size the per-pair MILP is handed
+        #: to the LP-free exhaustive solver instead of branch-and-bound
+        #: (0 disables the fallback).  The online ``fraction`` formulation has
+        #: one continuous variable, which the exhaustive solver optimises in
+        #: closed form, so small clusters re-plan with pure arithmetic.
+        self.exhaustive_cutoff = exhaustive_cutoff
+        self.exhaustive_solver = ExhaustiveSolver()
         self.threshold_grid = self._build_threshold_grid(threshold_levels)
         self.last_solve_time_s: float = 0.0
         self.solve_times: List[float] = []
+        # Warm-start telemetry (read by the re-planner and the benchmarks).
+        self.warm_solves = 0
+        self.cold_solves = 0
+        self.warm_start_hits = 0
+        self.pairs_pruned_by_bound = 0
+        #: Whether the most recent :meth:`plan` call had its warm incumbent
+        #: accepted by at least one per-pair solve (False for cold solves or
+        #: when every repaired incumbent was rejected as infeasible).
+        self.last_warm_start_used = False
 
     # ----------------------------------------------------------------- grids
     def _build_threshold_grid(self, levels: int) -> List[Tuple[float, float]]:
@@ -213,16 +234,45 @@ class DiffServeAllocator:
         problem.add_le({"x1": 1.0, "x2": 1.0}, S, name="device-budget")
         return problem
 
-    def plan(self, ctx: ControlContext) -> AllocationPlan:
-        """Solve the allocation problem for the given control context."""
-        start = time.perf_counter()
-        demand = max(ctx.demand, 1e-3) * self.over_provision
-        max_threshold = max(t for t, _ in self.threshold_grid)
-        best: Optional[AllocationPlan] = None
-        # Larger batches give strictly higher worker throughput, so for each
-        # light batch size only the largest heavy batch that still fits the
-        # latency budget can be optimal; sweep light batches largest-first and
-        # stop as soon as the highest grid threshold is attainable.
+    def _solve_pair(
+        self,
+        ctx: ControlContext,
+        b1: int,
+        b2: int,
+        demand: float,
+        warm_assignment: Optional[Dict[str, float]] = None,
+    ) -> MILPSolution:
+        """Solve the fixed-batch MILP, routing small instances to the LP-free
+        exhaustive solver and seeding the incumbent when a warm start exists."""
+        problem = self.build_problem(ctx, b1, b2, demand)
+        if self.exhaustive_cutoff:
+            size = self.exhaustive_solver.search_space(problem)
+            if size is not None and 0 < size <= self.exhaustive_cutoff:
+                return self.exhaustive_solver.solve(problem, warm_start=warm_assignment)
+        return self.solver.solve(problem, warm_start=warm_assignment)
+
+    def _plan_from_solution(self, solution: MILPSolution, b1: int, b2: int) -> AllocationPlan:
+        threshold, fraction = self._threshold_from_solution(solution)
+        return AllocationPlan(
+            num_light=solution.get_int("x1"),
+            num_heavy=solution.get_int("x2"),
+            light_batch=b1,
+            heavy_batch=b2,
+            threshold=threshold,
+            heavy_fraction=fraction,
+            feasible=True,
+            objective=solution.objective,
+            solver_time_s=solution.solve_time_s,
+        )
+
+    def _candidate_pairs(self, ctx: ControlContext, demand: float) -> List[Tuple[int, int]]:
+        """(b1, b2) pairs the sweep considers, largest light batch first.
+
+        Larger batches give strictly higher worker throughput, so for each
+        light batch size only the largest heavy batch that still fits the
+        latency budget can be optimal.
+        """
+        pairs: List[Tuple[int, int]] = []
         for b1 in sorted(self.batch_candidates, reverse=True):
             if self._light_execution(b1) > ctx.slo:
                 continue
@@ -232,29 +282,98 @@ class DiffServeAllocator:
                 if self._heavy_execution(b2) <= ctx.slo
                 and self._latency_budget_ok(ctx, b1, b2, demand)
             ]
-            for b2 in ([max(feasible_b2)] if feasible_b2 else []):
-                problem = self.build_problem(ctx, b1, b2, demand)
-                solution = self.solver.solve(problem)
-                if not solution.is_optimal:
-                    continue
-                threshold, fraction = self._threshold_from_solution(solution)
-                plan = AllocationPlan(
-                    num_light=solution.get_int("x1"),
-                    num_heavy=solution.get_int("x2"),
-                    light_batch=b1,
-                    heavy_batch=b2,
-                    threshold=threshold,
-                    heavy_fraction=fraction,
-                    feasible=True,
-                    objective=solution.objective,
-                    solver_time_s=solution.solve_time_s,
-                )
-                if best is None or self._plan_key(plan) > self._plan_key(best):
-                    best = plan
-                if best is not None and best.threshold >= max_threshold:
-                    break
+            if feasible_b2:
+                pairs.append((b1, max(feasible_b2)))
+        return pairs
+
+    def _warm_assignment(
+        self, previous: AllocationPlan, b1: int, b2: int, demand: float, ctx: ControlContext
+    ) -> Dict[str, float]:
+        """Repair the previous epoch's split into a candidate incumbent.
+
+        The light pool is grown to the minimum satisfying the current demand
+        (the repair that keeps the assignment feasible when load rose), the
+        heavy pool keeps as many of its workers as the budget allows, and the
+        deferred fraction takes its maximal value for that split — making the
+        incumbent as strong as the previous worker split permits.
+        """
+        t1 = self.light.latency.throughput(b1)
+        t2 = self.heavy.latency.throughput(b2)
+        S = ctx.num_workers
+        min_x1 = int(np.ceil(demand / t1)) if t1 > 0 else S
+        x1 = min(max(previous.num_light, self.min_light_workers, min_x1), S)
+        x2 = max(min(previous.num_heavy, S - x1), 0)
+        f = min(1.0, x2 * t2 / demand) if demand > 0 else 1.0
+        return {"x1": float(x1), "x2": float(x2), "f": float(f)}
+
+    def _fraction_upper_bound(self, b1: int, b2: int, demand: float, S: int) -> float:
+        """Closed-form LP-relaxation bound of the fraction formulation.
+
+        With ``x1`` relaxed to ``max(min_light, D/t1)`` and the rest of the
+        budget given to the heavy pool, the deferred fraction can never exceed
+        ``min(1, (S - x1) * t2 / D)``.  Any integer-feasible plan for this
+        batch pair is bounded by it, which is what lets a warm re-solve skip
+        pairs that cannot beat the incumbent carried over from the previous
+        epoch.
+        """
+        t1 = self.light.latency.throughput(b1)
+        t2 = self.heavy.latency.throughput(b2)
+        if t1 <= 0 or demand <= 0:
+            return -np.inf
+        x1_relaxed = max(float(self.min_light_workers), demand / t1)
+        if x1_relaxed > S:
+            return -np.inf
+        return min(1.0, max(0.0, S - x1_relaxed) * t2 / demand)
+
+    def plan(
+        self, ctx: ControlContext, *, warm_start: Optional[AllocationPlan] = None
+    ) -> AllocationPlan:
+        """Solve the allocation problem for the given control context.
+
+        ``warm_start`` carries the previous epoch's plan into the solve: the
+        incumbent of every per-pair MILP is seeded from its (repaired) worker
+        split, and once one pair is solved its objective prunes — via the
+        closed-form relaxation bound — every remaining batch pair that cannot
+        strictly improve on it.  Warm re-solves therefore cost one MILP in the
+        common case instead of one per candidate pair, and ties resolve
+        towards the previous plan (fewer worker reconfigurations).
+        """
+        start = time.perf_counter()
+        demand = max(ctx.demand, 1e-3) * self.over_provision
+        max_threshold = max(t for t, _ in self.threshold_grid)
+        pairs = self._candidate_pairs(ctx, demand)
+        self.last_warm_start_used = False
+        if warm_start is None:
+            self.cold_solves += 1
+        else:
+            self.warm_solves += 1
+            # Re-solve the previous plan's batch pair first: its solution is
+            # the bound every other pair must beat.
+            prev_pair = (warm_start.light_batch, warm_start.heavy_batch)
+            if prev_pair in pairs:
+                pairs = [prev_pair] + [p for p in pairs if p != prev_pair]
+
+        best: Optional[AllocationPlan] = None
+        for b1, b2 in pairs:
             if best is not None and best.threshold >= max_threshold:
                 break
+            warm_assignment = None
+            if warm_start is not None:
+                if best is not None and best.objective is not None:
+                    bound = self._fraction_upper_bound(b1, b2, demand, ctx.num_workers)
+                    if bound <= best.objective + 1e-9:
+                        self.pairs_pruned_by_bound += 1
+                        continue
+                warm_assignment = self._warm_assignment(warm_start, b1, b2, demand, ctx)
+            solution = self._solve_pair(ctx, b1, b2, demand, warm_assignment)
+            if not solution.is_optimal:
+                continue
+            if solution.warm_start_used:
+                self.warm_start_hits += 1
+                self.last_warm_start_used = True
+            plan = self._plan_from_solution(solution, b1, b2)
+            if best is None or self._plan_key(plan) > self._plan_key(best):
+                best = plan
         elapsed = time.perf_counter() - start
         self.last_solve_time_s = elapsed
         self.solve_times.append(elapsed)

@@ -51,6 +51,11 @@ class Controller(Actor):
         self.current_plan: Optional[AllocationPlan] = None
         self.history: List[ControlSnapshot] = []
         self.solve_times: List[float] = []
+        #: Attached by :class:`~repro.core.replanner.ReplanController`; when
+        #: present, the epoch loop of the re-planner replaces the fixed-period
+        #: control loop below (the Controller still applies plan zero and
+        #: keeps its plan-application machinery).
+        self.replanner: Optional[object] = None
 
     # ---------------------------------------------------------------- start
     def start(self) -> None:
@@ -58,7 +63,7 @@ class Controller(Actor):
         ctx = self._build_context()
         plan = self.policy.plan(ctx)
         self._apply_plan(plan)
-        if self.policy.dynamic:
+        if self.policy.dynamic and self.replanner is None:
             self.sim.schedule(self.config.control_period, self._control_tick, name="control-tick")
 
     # ----------------------------------------------------------- control loop
@@ -71,10 +76,25 @@ class Controller(Actor):
         if observed_deferral is not None and self.current_plan is not None:
             self.policy_deferral_update(self.current_plan.threshold, observed_deferral)
 
-        ctx = self._build_context(observed_deferral)
-        plan = self.policy.plan(ctx)
-        self._apply_plan(plan)
+        self.replan(observed_deferral=observed_deferral)
         self.sim.schedule(self.config.control_period, self._control_tick, name="control-tick")
+
+    def replan(
+        self,
+        *,
+        observed_deferral: Optional[float] = None,
+        warm_start: Optional[AllocationPlan] = None,
+    ) -> AllocationPlan:
+        """Build a control context, solve, and apply the resulting plan.
+
+        ``warm_start`` is forwarded to the policy so MILP-backed policies can
+        seed their solver's incumbent with the previous epoch's solution (the
+        re-planner passes the currently applied plan).
+        """
+        ctx = self._build_context(observed_deferral)
+        plan = self.policy.plan(ctx, warm_start=warm_start)
+        self._apply_plan(plan)
+        return plan
 
     def policy_deferral_update(self, threshold: float, observed_fraction: float) -> None:
         """Blend the observed deferral rate into the policy's deferral profile."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.allocator import AllocationPlan, ControlContext, DiffServeAllocator
 from repro.core.queueing import TwoXExecutionModel
@@ -27,8 +27,16 @@ class AllocationPolicy(abc.ABC):
     dynamic: bool = True
 
     @abc.abstractmethod
-    def plan(self, ctx: ControlContext) -> AllocationPlan:
-        """Produce an allocation plan for the given runtime statistics."""
+    def plan(
+        self, ctx: ControlContext, *, warm_start: Optional[AllocationPlan] = None
+    ) -> AllocationPlan:
+        """Produce an allocation plan for the given runtime statistics.
+
+        ``warm_start`` optionally carries the plan applied in the previous
+        control epoch; MILP-backed policies seed their solver's incumbent
+        from it (see :meth:`DiffServeAllocator.plan`), other policies are
+        free to ignore it.
+        """
 
 
 class DiffServePolicy(AllocationPolicy):
@@ -39,8 +47,10 @@ class DiffServePolicy(AllocationPolicy):
     def __init__(self, allocator: DiffServeAllocator) -> None:
         self.allocator = allocator
 
-    def plan(self, ctx: ControlContext) -> AllocationPlan:
-        return self.allocator.plan(ctx)
+    def plan(
+        self, ctx: ControlContext, *, warm_start: Optional[AllocationPlan] = None
+    ) -> AllocationPlan:
+        return self.allocator.plan(ctx, warm_start=warm_start)
 
 
 class StaticThresholdPolicy(AllocationPolicy):
@@ -62,8 +72,10 @@ class StaticThresholdPolicy(AllocationPolicy):
             (threshold, self.allocator.deferral_profile.fraction(threshold))
         ]
 
-    def plan(self, ctx: ControlContext) -> AllocationPlan:
-        plan = self.allocator.plan(ctx)
+    def plan(
+        self, ctx: ControlContext, *, warm_start: Optional[AllocationPlan] = None
+    ) -> AllocationPlan:
+        plan = self.allocator.plan(ctx, warm_start=warm_start)
         if plan.feasible:
             plan.threshold = self.threshold
             plan.heavy_fraction = self.allocator.deferral_profile.fraction(self.threshold)
@@ -105,7 +117,11 @@ class AIMDBatchingPolicy(AllocationPolicy):
         self.light_state = AIMDBatchState(max_batch=max_batch)
         self.heavy_state = AIMDBatchState(max_batch=max_batch)
 
-    def plan(self, ctx: ControlContext) -> AllocationPlan:
+    def plan(
+        self, ctx: ControlContext, *, warm_start: Optional[AllocationPlan] = None
+    ) -> AllocationPlan:
+        # AIMD's batch choice is its own state machine; a warm start would
+        # anchor batches to the previous MILP solve, so it is ignored here.
         had_violation = ctx.slo_violations_in_window > 0
         b1 = self.light_state.update(had_violation)
         b2 = self.heavy_state.update(had_violation)
@@ -137,11 +153,13 @@ def make_diffserve_policy(
     batch_candidates: Sequence[int] = (1, 2, 4, 8, 16),
     variant: str = "full",
     static_threshold: float = 0.5,
+    exhaustive_cutoff: int = 0,
 ) -> AllocationPolicy:
     """Factory for the DiffServe policy and its Section 4.5 ablations.
 
     ``variant`` selects ``"full"`` (DiffServe), ``"static-threshold"``,
-    ``"aimd"`` or ``"no-queueing"``.
+    ``"aimd"`` or ``"no-queueing"``.  ``exhaustive_cutoff`` forwards to
+    :class:`DiffServeAllocator` (small-instance LP-free fallback).
     """
     queueing = TwoXExecutionModel() if variant == "no-queueing" else None
     allocator = DiffServeAllocator(
@@ -152,6 +170,7 @@ def make_diffserve_policy(
         over_provision=over_provision,
         batch_candidates=batch_candidates,
         queueing_model=queueing,
+        exhaustive_cutoff=exhaustive_cutoff,
     )
     if variant == "full" or variant == "no-queueing":
         return DiffServePolicy(allocator)

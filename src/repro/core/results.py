@@ -197,6 +197,21 @@ class ResultCollector:
         self._dropped += 1
 
     # ----------------------------------------------------------- control path
+    @property
+    def completed_count(self) -> int:
+        """Cumulative completed queries (live view, O(1))."""
+        return self._completed
+
+    @property
+    def dropped_count(self) -> int:
+        """Cumulative dropped queries (live view, O(1))."""
+        return self._dropped
+
+    @property
+    def violated_count(self) -> int:
+        """Cumulative completed-but-late queries (live view, O(1))."""
+        return self._violated
+
     def window_stats(self) -> Tuple[int, int]:
         """(violations, completions) since the last call; resets the counters."""
         stats = (self._violations_window, self._completions_window)
@@ -249,6 +264,10 @@ class SimulationResult:
     control_history: List[ControlSnapshot] = field(default_factory=list)
     allocator_solve_times: List[float] = field(default_factory=list)
     system_name: str = "system"
+    #: Epoch-by-epoch control-plane samples when an online re-planner was
+    #: attached (:class:`~repro.core.replanner.EpochSnapshot` items); empty
+    #: for runs without one.
+    replan_history: List[object] = field(default_factory=list)
 
     # ------------------------------------------------------------ column view
     @property

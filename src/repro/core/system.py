@@ -17,6 +17,7 @@ from repro.core.controller import Controller
 from repro.core.load_balancer import LoadBalancer
 from repro.core.policies import AllocationPolicy, make_diffserve_policy
 from repro.core.query import Query
+from repro.core.replanner import ReplanConfig, ReplanController
 from repro.core.repository import ModelRepository
 from repro.core.results import ResultCollector, SimulationResult
 from repro.core.worker import Worker
@@ -98,6 +99,12 @@ class ServingSimulation:
         Demand estimate used for the very first allocation (before any
         arrivals have been observed); static baselines pass their
         peak-provisioning demand here.
+    replan:
+        Optional online re-planning configuration.  When set, a
+        :class:`~repro.core.replanner.ReplanController` replaces the
+        Controller's fixed-period loop: it samples the collector's running
+        views and the load balancer's arrival window every ``replan.epoch``
+        seconds and re-solves (warm-started) according to ``replan.policy``.
     name:
         Label attached to the result (used in figures/tables).
     """
@@ -107,6 +114,7 @@ class ServingSimulation:
     policy: AllocationPolicy
     discriminator: Optional[Discriminator] = None
     initial_demand: float = 1.0
+    replan: Optional[ReplanConfig] = None
     name: str = "diffserve"
 
     def run(self, trace: Workload, *, duration: Optional[float] = None) -> SimulationResult:
@@ -122,9 +130,15 @@ class ServingSimulation:
         load_balancer = LoadBalancer(
             sim,
             routing=self.config.routing,
-            # The controller observes arrivals over one control period, so
-            # that is all the arrival history the balancer needs to retain.
-            observation_window=self.config.control_period,
+            # Arrival history must cover the longest window any control loop
+            # observes: the Controller's fixed period, or the re-planner's
+            # epoch when one is attached (an epoch longer than the retained
+            # history would silently undercount arrivals and bias the demand
+            # estimate low).
+            observation_window=max(
+                self.config.control_period,
+                self.replan.epoch if self.replan is not None else 0.0,
+            ),
             on_response=lambda query, image, stage, conf, deferred: collector.complete(
                 query, image, stage, conf, deferred, sim.now
             ),
@@ -165,6 +179,16 @@ class ServingSimulation:
             initial_demand=self.initial_demand,
         )
 
+        replanner = None
+        if self.replan is not None:
+            replanner = ReplanController(
+                sim,
+                controller=controller,
+                collector=collector,
+                load_balancer=load_balancer,
+                config=self.replan,
+            )
+
         ClientSource(sim, trace, self.dataset, load_balancer, self.config.slo)
 
         horizon = duration
@@ -182,7 +206,14 @@ class ServingSimulation:
             control_history=list(controller.history),
             allocator_solve_times=list(controller.solve_times),
             system_name=self.name,
+            replan_history=list(replanner.history) if replanner is not None else [],
         )
+
+
+#: Integral-search-space cutoff below which re-planning systems hand the
+#: per-pair MILP to the LP-free exhaustive solver (covers clusters of up to
+#: ~7 workers: (S - 1 + 1) * (S + 1) combinations).
+DEFAULT_EXHAUSTIVE_CUTOFF = 64
 
 
 def build_diffserve_system(
@@ -199,6 +230,8 @@ def build_diffserve_system(
     dataset_size: int = 1000,
     policy_variant: str = "full",
     static_threshold: float = 0.5,
+    replan_epoch: Optional[float] = None,
+    replan_policy: Optional[str] = None,
 ) -> ServingSimulation:
     """Build a ready-to-run DiffServe system for a named cascade.
 
@@ -207,6 +240,12 @@ def build_diffserve_system(
     the deferral function, and assembles the full system.  Pass
     ``policy_variant`` to select one of the Section 4.5 ablations
     (``"static-threshold"``, ``"aimd"``, ``"no-queueing"``).
+
+    ``replan_epoch`` / ``replan_policy`` enable the online re-planning control
+    plane: the epoch defaults to ``control_period`` and the policy to
+    ``"periodic"`` when only one of the two is given (see
+    :class:`~repro.core.replanner.ReplanConfig`).  Re-planning systems also
+    enable the allocator's exhaustive fallback for small clusters.
     """
     from repro.models.dataset import load_dataset
     from repro.models.zoo import get_cascade
@@ -232,6 +271,12 @@ def build_diffserve_system(
         over_provision=over_provision,
         seed=seed,
     )
+    replan = None
+    if replan_epoch is not None or replan_policy is not None:
+        replan = ReplanConfig(
+            epoch=control_period if replan_epoch is None else float(replan_epoch),
+            policy=replan_policy or "periodic",
+        )
     policy = make_diffserve_policy(
         cascade.light,
         cascade.heavy,
@@ -240,6 +285,7 @@ def build_diffserve_system(
         over_provision=over_provision,
         variant=policy_variant,
         static_threshold=static_threshold,
+        exhaustive_cutoff=DEFAULT_EXHAUSTIVE_CUTOFF if replan is not None else 0,
     )
     name = "diffserve" if policy_variant == "full" else f"diffserve-{policy_variant}"
     return ServingSimulation(
@@ -247,5 +293,6 @@ def build_diffserve_system(
         dataset=dataset,
         policy=policy,
         discriminator=discriminator,
+        replan=replan,
         name=name,
     )

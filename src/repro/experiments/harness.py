@@ -138,12 +138,17 @@ def build_comparison_systems(
     over_provision: Optional[float] = None,
     policy_variant: str = "full",
     static_threshold: float = 0.5,
+    replan_epoch: Optional[float] = None,
+    replan_policy: Optional[str] = None,
 ) -> Dict[str, ServingSimulation]:
     """Instantiate the requested systems with shared dataset/discriminator.
 
     ``slo``/``over_provision`` override the per-system defaults (``None``
     keeps each builder's own default); ``policy_variant``/``static_threshold``
-    select the Section 4.5 DiffServe allocation ablations.
+    select the Section 4.5 DiffServe allocation ablations;
+    ``replan_epoch``/``replan_policy`` attach the online re-planning control
+    plane to the DiffServe system (see
+    :class:`~repro.core.replanner.ReplanConfig`).
     """
     if dataset is None or discriminator is None:
         _, dataset, discriminator = shared_components(cascade_name, scale)
@@ -198,6 +203,8 @@ def build_comparison_systems(
                 seed=scale.seed,
                 policy_variant=policy_variant,
                 static_threshold=static_threshold,
+                replan_epoch=replan_epoch,
+                replan_policy=replan_policy,
                 **over,
             )
         else:

@@ -6,7 +6,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -23,6 +23,10 @@ class _Node:
     neg_bound: float
     seq: int
     bounds: Bounds = field(compare=False)
+    #: Relaxation solution already computed for exactly these bounds (set for
+    #: the root, whose LP is solved before it is pushed); ``None`` for child
+    #: nodes, whose ``neg_bound`` is the parent's bound.
+    relaxation: Optional[Tuple[Dict[str, float], float]] = field(compare=False, default=None)
 
 
 class BranchAndBoundSolver:
@@ -31,6 +35,13 @@ class BranchAndBoundSolver:
     The search is best-first on the LP relaxation bound; branching picks the
     integral variable whose relaxed value is most fractional.  The small
     allocation problems produced by DiffServe solve in a handful of nodes.
+
+    A caller that re-solves a slowly drifting problem (the online re-planner)
+    can pass ``warm_start`` — an assignment from the previous solve.  If it is
+    feasible for the *current* problem it seeds the incumbent, so every node
+    whose LP bound cannot beat it is pruned without exploration; when the root
+    relaxation bound already matches the warm objective the solve finishes
+    after a single LP.
     """
 
     def __init__(
@@ -45,6 +56,10 @@ class BranchAndBoundSolver:
         self.tol = tol
         self.max_nodes = max_nodes
         self.mip_gap = mip_gap
+        #: Cumulative LP relaxations solved over the solver's lifetime (the
+        #: dominant solve cost; benchmarks read this as a deterministic,
+        #: wall-clock-independent cost model).
+        self.total_lp_solves = 0
 
     # -------------------------------------------------------------- LP solve
     def _solve_relaxation(
@@ -85,39 +100,87 @@ class BranchAndBoundSolver:
                 best_name = name
         return best_name
 
+    # ------------------------------------------------------------ warm start
+    def _seed_incumbent(
+        self, problem: MILPProblem, warm_start: Optional[Mapping[str, float]]
+    ) -> Tuple[Optional[Dict[str, float]], float, bool]:
+        """Validate a warm start against the *current* problem.
+
+        The previous epoch's solution is only a valid incumbent if it is still
+        feasible after the problem drifted (demand moved, bounds changed); its
+        objective is re-evaluated under the current objective, which is the
+        bound reuse the re-planner relies on.  Integral variables are rounded
+        exactly before the feasibility check.
+        """
+        rounded = problem.validated_assignment(warm_start)
+        if rounded is None:
+            return None, -np.inf, False
+        return rounded, problem.objective_value(rounded), True
+
     # ----------------------------------------------------------------- solve
-    def solve(self, problem: MILPProblem) -> MILPSolution:
-        """Solve ``problem`` to optimality (or until the node limit)."""
+    def solve(
+        self, problem: MILPProblem, *, warm_start: Optional[Mapping[str, float]] = None
+    ) -> MILPSolution:
+        """Solve ``problem`` to optimality (or until the node limit).
+
+        ``warm_start`` optionally seeds the incumbent from a previous solution
+        of a drifted instance of the same problem (see the class docs).
+        """
         start = time.perf_counter()
         counter = itertools.count()
         root_bounds: Bounds = {}
+        lp_solves = 0
+
+        incumbent, incumbent_obj, warm_used = self._seed_incumbent(problem, warm_start)
 
         values, bound, status = self._solve_relaxation(problem, root_bounds)
+        lp_solves += 1
+        self.total_lp_solves += 1
         if status == "infeasible":
             return MILPSolution(
-                status=SolveStatus.INFEASIBLE, solve_time_s=time.perf_counter() - start
+                status=SolveStatus.INFEASIBLE,
+                solve_time_s=time.perf_counter() - start,
+                lp_solves=lp_solves,
             )
         if status == "unbounded":
             return MILPSolution(
-                status=SolveStatus.UNBOUNDED, solve_time_s=time.perf_counter() - start
+                status=SolveStatus.UNBOUNDED,
+                solve_time_s=time.perf_counter() - start,
+                lp_solves=lp_solves,
             )
         if status == "error" or values is None or bound is None:
-            return MILPSolution(status=SolveStatus.ERROR, solve_time_s=time.perf_counter() - start)
+            return MILPSolution(
+                status=SolveStatus.ERROR,
+                solve_time_s=time.perf_counter() - start,
+                lp_solves=lp_solves,
+            )
 
-        heap: list[_Node] = [_Node(neg_bound=-bound, seq=next(counter), bounds=root_bounds)]
-        incumbent: Optional[Dict[str, float]] = None
-        incumbent_obj = -np.inf
+        heap: list[_Node] = [
+            _Node(
+                neg_bound=-bound,
+                seq=next(counter),
+                bounds=root_bounds,
+                relaxation=(values, bound),
+            )
+        ]
         nodes = 0
 
         while heap and nodes < self.max_nodes:
             node = heapq.heappop(heap)
             nodes += 1
-            # Prune against the incumbent.
+            # Prune against the incumbent.  With a warm start whose objective
+            # already matches the root relaxation bound this fires on the root
+            # itself and the solve finishes after one LP.
             if -node.neg_bound <= incumbent_obj + self.mip_gap:
                 continue
-            values, bound, status = self._solve_relaxation(problem, node.bounds)
-            if status != "optimal" or values is None or bound is None:
-                continue
+            if node.relaxation is not None:
+                values, bound = node.relaxation
+            else:
+                values, bound, status = self._solve_relaxation(problem, node.bounds)
+                lp_solves += 1
+                self.total_lp_solves += 1
+                if status != "optimal" or values is None or bound is None:
+                    continue
             if bound <= incumbent_obj + self.mip_gap:
                 continue
             branch_var = self._most_fractional(problem, values)
@@ -147,7 +210,9 @@ class BranchAndBoundSolver:
         elapsed = time.perf_counter() - start
         if incumbent is None:
             status_out = SolveStatus.NODE_LIMIT if heap else SolveStatus.INFEASIBLE
-            return MILPSolution(status=status_out, nodes_explored=nodes, solve_time_s=elapsed)
+            return MILPSolution(
+                status=status_out, nodes_explored=nodes, solve_time_s=elapsed, lp_solves=lp_solves
+            )
         status_out = (
             SolveStatus.OPTIMAL if not heap or nodes < self.max_nodes else SolveStatus.NODE_LIMIT
         )
@@ -157,4 +222,6 @@ class BranchAndBoundSolver:
             values=incumbent,
             nodes_explored=nodes,
             solve_time_s=elapsed,
+            lp_solves=lp_solves,
+            warm_start_used=warm_used,
         )

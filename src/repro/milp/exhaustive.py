@@ -3,13 +3,20 @@
 Used to cross-check the branch-and-bound solver in tests and as a fallback
 when every variable is integral with small bounded domains (the DiffServe
 allocation problem has at most a few thousand candidate assignments).
+
+Problems with at most one continuous variable — the online ``fraction``
+formulation of the allocator — are solved without any LP at all: with the
+integral variables fixed, every constraint is an interval bound on the single
+continuous variable, so its optimum sits at an interval endpoint.  That makes
+the exhaustive path pure arithmetic, which is why the allocator prefers it
+below a search-space cutoff.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 from scipy.optimize import linprog
@@ -17,15 +24,21 @@ from scipy.optimize import linprog
 from repro.milp.problem import MILPProblem, Sense
 from repro.milp.solution import MILPSolution, SolveStatus
 
+#: Feasibility slack used when reducing constraints on the single continuous
+#: variable (matches the tolerance of :meth:`MILPProblem.is_feasible` checks).
+_TOL = 1e-9
+
 
 class ExhaustiveSolver:
     """Enumerates all integral assignments; continuous variables are optimised
-    per assignment with an LP."""
+    per assignment (closed form for one variable, an LP otherwise)."""
 
     def __init__(self, max_combinations: int = 2_000_000) -> None:
         if max_combinations < 1:
             raise ValueError("max_combinations must be >= 1")
         self.max_combinations = max_combinations
+        #: Cumulative LPs solved (stays 0 on the closed-form path).
+        self.total_lp_solves = 0
 
     def _integer_domains(self, problem: MILPProblem) -> Dict[str, List[int]]:
         domains: Dict[str, List[int]] = {}
@@ -41,9 +54,29 @@ class ExhaustiveSolver:
             domains[name] = list(range(lo, hi + 1))
         return domains
 
-    def solve(self, problem: MILPProblem) -> MILPSolution:
-        """Enumerate the integral grid and return the best feasible assignment."""
+    def search_space(self, problem: MILPProblem) -> Optional[int]:
+        """Number of integral assignments, or ``None`` if any is unbounded."""
+        total = 1
+        for var in problem.variables.values():
+            if not var.is_integral:
+                continue
+            if var.upper is None:
+                return None
+            total *= max(int(np.floor(var.upper)) - int(np.ceil(var.lower)) + 1, 0)
+        return total
+
+    def solve(
+        self, problem: MILPProblem, *, warm_start: Optional[Mapping[str, float]] = None
+    ) -> MILPSolution:
+        """Enumerate the integral grid and return the best feasible assignment.
+
+        A feasible ``warm_start`` seeds the running best, so assignments that
+        cannot strictly beat the previous solution are discarded without
+        optimising their continuous part — and ties resolve to the warm
+        solution, keeping re-planned allocations stable.
+        """
         start = time.perf_counter()
+        lp_before = self.total_lp_solves
         domains = self._integer_domains(problem)
         int_names = list(domains)
         cont_names = [n for n, v in problem.variables.items() if not v.is_integral]
@@ -58,11 +91,21 @@ class ExhaustiveSolver:
 
         best_obj = -np.inf
         best_values: Optional[Dict[str, float]] = None
+        seeded = problem.validated_assignment(warm_start)
+        warm_used = seeded is not None
+        if seeded is not None:
+            best_obj = problem.objective_value(seeded)
+            best_values = seeded
+
         checked = 0
         for combo in itertools.product(*(domains[name] for name in int_names)):
             checked += 1
             assignment = {name: float(v) for name, v in zip(int_names, combo)}
-            if cont_names:
+            if len(cont_names) == 1:
+                full = self._optimise_single_continuous(problem, assignment, cont_names[0])
+                if full is None:
+                    continue
+            elif cont_names:
                 full = self._optimise_continuous(problem, assignment, cont_names)
                 if full is None:
                     continue
@@ -76,15 +119,70 @@ class ExhaustiveSolver:
                 best_values = dict(full)
 
         elapsed = time.perf_counter() - start
+        lp_solves = self.total_lp_solves - lp_before
         if best_values is None:
-            return MILPSolution(status=SolveStatus.INFEASIBLE, solve_time_s=elapsed)
+            return MILPSolution(
+                status=SolveStatus.INFEASIBLE, solve_time_s=elapsed, lp_solves=lp_solves
+            )
         return MILPSolution(
             status=SolveStatus.OPTIMAL,
             objective=best_obj,
             values=best_values,
             nodes_explored=checked,
             solve_time_s=elapsed,
+            lp_solves=lp_solves,
+            warm_start_used=warm_used,
         )
+
+    def _optimise_single_continuous(
+        self, problem: MILPProblem, fixed: Dict[str, float], cont_name: str
+    ) -> Optional[Dict[str, float]]:
+        """Closed-form optimum over one continuous variable, integrals fixed.
+
+        Each constraint reduces to a one-sided (or two-sided, for equalities)
+        bound on the variable; a linear objective over an interval is
+        maximised at an endpoint.
+        """
+        var = problem.variables[cont_name]
+        lo = var.lower
+        hi = np.inf if var.upper is None else var.upper
+        for con in problem.constraints:
+            a = con.coefficients.get(cont_name, 0.0)
+            const = sum(
+                coeff * fixed[name]
+                for name, coeff in con.coefficients.items()
+                if name != cont_name
+            )
+            rhs = con.rhs - const
+            if a == 0.0:
+                if con.sense == Sense.LE and const > con.rhs + _TOL:
+                    return None
+                if con.sense == Sense.GE and const < con.rhs - _TOL:
+                    return None
+                if con.sense == Sense.EQ and abs(const - con.rhs) > _TOL:
+                    return None
+                continue
+            if con.sense == Sense.EQ:
+                pinned = rhs / a
+                lo = max(lo, pinned)
+                hi = min(hi, pinned)
+            elif (con.sense == Sense.LE) == (a > 0.0):
+                hi = min(hi, rhs / a)
+            else:
+                lo = max(lo, rhs / a)
+        if lo > hi:
+            if lo > hi + _TOL:
+                return None
+            lo = hi = (lo + hi) / 2.0  # degenerate interval within tolerance
+        coeff = problem.objective.get(cont_name, 0.0)
+        if not np.isfinite(hi) and coeff > 0:
+            return None  # unbounded objective for this assignment
+        value = hi if coeff > 0 else lo
+        if not np.isfinite(value):
+            value = lo if np.isfinite(lo) else 0.0
+        full = dict(fixed)
+        full[cont_name] = float(min(max(value, lo), hi))
+        return full
 
     def _optimise_continuous(
         self, problem: MILPProblem, fixed: Dict[str, float], cont_names: List[str]
@@ -117,6 +215,7 @@ class ExhaustiveSolver:
         bounds = [
             (problem.variables[n].lower, problem.variables[n].upper) for n in cont_names
         ]
+        self.total_lp_solves += 1
         result = linprog(
             c=c,
             A_ub=np.vstack(A_ub) if A_ub else None,

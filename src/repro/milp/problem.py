@@ -219,6 +219,30 @@ class MILPProblem:
         }
 
     # ------------------------------------------------------------ evaluation
+    def validated_assignment(
+        self, assignment: Optional[Mapping[str, float]], tol: float = 1e-5
+    ) -> Optional[Dict[str, float]]:
+        """Round and feasibility-check a candidate (warm-start) assignment.
+
+        Integral variables are rounded exactly; ``None`` is returned when the
+        assignment misses a variable or violates any bound, integrality or
+        constraint within ``tol``.  Both solvers use this to validate a
+        warm start against the *current* problem, so acceptance stays
+        consistent regardless of which solver an instance is routed to.
+        """
+        if assignment is None:
+            return None
+        try:
+            rounded = {
+                name: (round(assignment[name]) if var.is_integral else float(assignment[name]))
+                for name, var in self.variables.items()
+            }
+        except KeyError:
+            return None
+        if not self.is_feasible(rounded, tol=tol):
+            return None
+        return rounded
+
     def objective_value(self, assignment: Mapping[str, float]) -> float:
         """Objective value of an assignment."""
         return float(sum(coeff * assignment[name] for name, coeff in self.objective.items()))

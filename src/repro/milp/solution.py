@@ -30,9 +30,16 @@ class MILPSolution:
     values:
         Variable assignment of the incumbent.
     nodes_explored:
-        Branch-and-bound nodes processed (0 for the exhaustive solver).
+        Branch-and-bound nodes processed (assignments checked for the
+        exhaustive solver).
     solve_time_s:
         Wall-clock solve time in seconds.
+    lp_solves:
+        Number of LP relaxations solved (the dominant cost of a solve; used
+        by the warm-start benchmarks as a wall-clock-independent cost model).
+    warm_start_used:
+        Whether a caller-provided warm start was feasible and seeded the
+        incumbent.
     """
 
     status: SolveStatus
@@ -40,6 +47,8 @@ class MILPSolution:
     values: Dict[str, float] = field(default_factory=dict)
     nodes_explored: int = 0
     solve_time_s: float = 0.0
+    lp_solves: int = 0
+    warm_start_used: bool = False
 
     @property
     def is_optimal(self) -> bool:

@@ -23,7 +23,10 @@ from repro.experiments.harness import ExperimentScale
 #: (RandomStreams-derived arrival streams instead of ad-hoc generators).
 #: v3: columnar metrics pipeline — summaries gained completed / mean_quality /
 #: p50_latency keys and FID moved to the cached-real-moments evaluation.
-CACHE_SCHEMA_VERSION = 3
+#: v4: adaptive control plane — replan_epoch / replan_policy became grid
+#: dimensions and the warm-started re-planning solver changed DiffServe's
+#: control dynamics.
+CACHE_SCHEMA_VERSION = 4
 
 #: The standard five-system comparison run by most figures.
 DEFAULT_SYSTEMS: Tuple[str, ...] = (
@@ -35,7 +38,14 @@ DEFAULT_SYSTEMS: Tuple[str, ...] = (
 )
 
 #: Parameter keys a spec may override (forwarded to the system builders).
-ALLOWED_PARAMS = ("slo", "over_provision", "policy_variant", "static_threshold")
+ALLOWED_PARAMS = (
+    "slo",
+    "over_provision",
+    "policy_variant",
+    "static_threshold",
+    "replan_epoch",
+    "replan_policy",
+)
 
 ParamValue = Union[str, int, float, bool, None]
 

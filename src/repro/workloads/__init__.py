@@ -13,6 +13,7 @@ from repro.workloads.catalog import (
     WORKLOAD_PARAMS,
     cascade_qps_range,
     make_workload,
+    validate_workload,
 )
 from repro.workloads.processes import (
     DiurnalProcess,
@@ -35,5 +36,6 @@ __all__ = [
     "WORKLOAD_KINDS",
     "WORKLOAD_PARAMS",
     "make_workload",
+    "validate_workload",
     "cascade_qps_range",
 ]

@@ -167,6 +167,28 @@ def make_workload(
     )
 
 
+def validate_workload(
+    kind: str,
+    params: Optional[Mapping[str, float]] = None,
+    *,
+    qps: Optional[float] = None,
+    duration: float = 60.0,
+) -> None:
+    """Validate a scenario's parameter *values*, not just its keys.
+
+    Builds (and discards) the arrival process so range errors — e.g. a
+    ``burst_fraction`` outside ``(0, 1)`` — surface eagerly at CLI-parse time
+    as a :class:`ValueError` naming the offending parameter, instead of as a
+    traceback from inside a grid cell.
+    """
+    try:
+        make_workload(kind, duration=duration, qps=qps, params=params)
+    except ValueError:
+        raise
+    except Exception as exc:  # pragma: no cover - defensive normalisation
+        raise ValueError(f"invalid params for workload {kind!r}: {exc}") from exc
+
+
 def cascade_qps_range(cascade: str, num_workers: int) -> Tuple[float, float]:
     """The cascade's default QPS range scaled to the cluster size."""
     lo, hi = DEFAULT_QPS_RANGE.get(cascade, (4.0, 32.0))

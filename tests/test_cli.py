@@ -178,3 +178,77 @@ def test_workload_params_matching_no_selected_workload_are_rejected():
 def test_parse_workload_params_rejects_duplicate_keys():
     with pytest.raises(ValueError, match="duplicate workload param"):
         cli.parse_workload_params("burst_factor=2,burst_factor=9")
+
+
+def test_parse_workload_params_accepts_json_object():
+    assert cli.parse_workload_params('{"burst_factor": 6, "dwell_burst": 5}') == {
+        "burst_factor": 6.0,
+        "dwell_burst": 5.0,
+    }
+
+
+def test_parse_workload_params_rejects_malformed_json_with_one_line_error():
+    with pytest.raises(ValueError, match="malformed JSON"):
+        cli.parse_workload_params('{"burst_factor": }')
+    with pytest.raises(ValueError, match="must be an object"):
+        cli.parse_workload_params("[1, 2]")
+    with pytest.raises(ValueError, match="'burst_factor' must be a number"):
+        cli.parse_workload_params('{"burst_factor": "six"}')
+
+
+def test_run_command_malformed_json_params_is_clean_cli_error(capsys):
+    argv = ["run", "--workload", "mmpp", "--workload-params", '{"burst_factor": }']
+    assert cli.main(argv) == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error:")
+    assert "JSON" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_run_command_out_of_range_param_value_names_the_key(capsys):
+    # burst_fraction=2 passes key validation but fails the scenario's range
+    # check; it must surface as a one-line parse error, not a traceback from
+    # inside a grid cell.
+    argv = ["run", "--workload", "mmpp", "--workload-params", "burst_fraction=2"]
+    assert cli.main(argv) == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error:")
+    assert "burst_fraction" in captured.err
+    assert "Traceback" not in captured.err
+
+
+# ------------------------------------------------------------- replan flags
+def test_parse_grid_replan_flags_become_cached_params():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    plain = cli.parse_grid("cascades=sdturbo;systems=diffserve", scale)
+    replanned = cli.parse_grid(
+        "cascades=sdturbo;systems=diffserve",
+        scale,
+        replan_epoch=3.0,
+        replan_policy="adaptive",
+    )
+    assert replanned[0].params_dict() == {
+        "replan_epoch": 3.0,
+        "replan_policy": "adaptive",
+    }
+    # The control plane is a real grid dimension: the cells hash differently.
+    assert plain[0].content_hash != replanned[0].content_hash
+
+    epoch_only = cli.parse_grid("cascades=sdturbo;systems=diffserve", scale, replan_epoch=2.0)
+    assert epoch_only[0].params_dict() == {"replan_epoch": 2.0}
+
+
+def test_replan_flags_cross_with_slo_sweep():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    grid = cli.parse_grid(
+        "cascades=sdturbo;systems=diffserve;slos=3,5",
+        scale,
+        replan_epoch=2.0,
+        replan_policy="periodic",
+    )
+    assert len(grid) == 2
+    for spec in grid:
+        params = spec.params_dict()
+        assert params["replan_epoch"] == 2.0
+        assert params["replan_policy"] == "periodic"
+    assert {spec.params_dict()["slo"] for spec in grid} == {3.0, 5.0}

@@ -148,3 +148,118 @@ def test_solution_solve_time_recorded():
     solution = BranchAndBoundSolver().solve(knapsack_problem())
     assert solution.solve_time_s > 0
     assert solution.nodes_explored >= 1
+
+
+# ------------------------------------------------------------- warm starts
+def fraction_problem(demand, *, t1=2.1, t2=1.3, S=16):
+    """The allocator's online formulation: max f over (x1, x2, f)."""
+    p = MILPProblem("fraction")
+    p.add_integer("x1", lower=1, upper=S)
+    p.add_integer("x2", lower=0, upper=S)
+    p.add_continuous("f", lower=0.0, upper=1.0)
+    p.set_objective({"f": 1.0})
+    p.add_ge({"x1": t1}, demand, name="light-throughput")
+    p.add_le({"f": demand, "x2": -t2}, 0.0, name="heavy-throughput")
+    p.add_le({"x1": 1.0, "x2": 1.0}, S, name="device-budget")
+    return p
+
+
+def test_warm_start_seeds_incumbent_and_matches_cold_optimum():
+    problem = fraction_problem(14.0)
+    cold = BranchAndBoundSolver().solve(problem)
+    assert cold.is_optimal and not cold.warm_start_used
+
+    warm = BranchAndBoundSolver().solve(problem, warm_start=cold.values)
+    assert warm.is_optimal
+    assert warm.warm_start_used
+    assert warm.objective == pytest.approx(cold.objective)
+    assert warm.lp_solves <= cold.lp_solves
+
+
+def test_warm_start_prunes_root_when_relaxation_is_tight():
+    # Low demand: the LP relaxation already hits the f <= 1 cap, so a warm
+    # incumbent matching it lets the solve finish after the root LP alone.
+    problem = fraction_problem(2.0)
+    cold = BranchAndBoundSolver().solve(problem)
+    assert cold.objective == pytest.approx(1.0)
+    warm = BranchAndBoundSolver().solve(problem, warm_start=cold.values)
+    assert warm.is_optimal and warm.warm_start_used
+    assert warm.lp_solves == 1
+
+
+def test_infeasible_warm_start_is_ignored():
+    problem = fraction_problem(14.0)
+    # x1 too small for the light-throughput constraint at this demand.
+    bogus = {"x1": 1.0, "x2": 10.0, "f": 0.9}
+    solution = BranchAndBoundSolver().solve(problem, warm_start=bogus)
+    assert solution.is_optimal
+    assert not solution.warm_start_used
+    assert solution.objective == pytest.approx(
+        BranchAndBoundSolver().solve(problem).objective
+    )
+
+
+def test_warm_start_with_missing_variables_is_ignored():
+    problem = fraction_problem(14.0)
+    solution = BranchAndBoundSolver().solve(problem, warm_start={"x1": 7.0})
+    assert solution.is_optimal
+    assert not solution.warm_start_used
+
+
+def test_solver_counts_lp_relaxations():
+    solver = BranchAndBoundSolver()
+    assert solver.total_lp_solves == 0
+    first = solver.solve(fraction_problem(14.0))
+    assert first.lp_solves >= 1
+    assert solver.total_lp_solves == first.lp_solves
+    second = solver.solve(fraction_problem(20.0))
+    assert solver.total_lp_solves == first.lp_solves + second.lp_solves
+
+
+# --------------------------------------------- exhaustive closed-form path
+def test_exhaustive_single_continuous_runs_without_lps():
+    solver = ExhaustiveSolver()
+    problem = fraction_problem(8.0, S=6)
+    solution = solver.solve(problem)
+    reference = BranchAndBoundSolver().solve(problem)
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(reference.objective)
+    assert solution.lp_solves == 0
+    assert solver.total_lp_solves == 0
+    assert problem.is_feasible(solution.values, tol=1e-6)
+
+
+def test_exhaustive_single_continuous_equality_pin():
+    p = MILPProblem("pin")
+    p.add_integer("x", lower=0, upper=3)
+    p.add_continuous("y", lower=0.0, upper=10.0)
+    p.set_objective({"x": 1.0, "y": 1.0})
+    p.add_eq({"y": 2.0, "x": 1.0}, 4.0)  # y = (4 - x) / 2
+    solution = ExhaustiveSolver().solve(p)
+    assert solution.is_optimal
+    # x=0 gives y=2 (obj 2); x=3 gives y=0.5 (obj 3.5) — the max.
+    assert solution.objective == pytest.approx(3.5)
+    assert solution.values["x"] == pytest.approx(3.0)
+    assert solution.lp_solves == 0
+
+
+def test_exhaustive_warm_start_keeps_previous_solution_on_ties():
+    p = MILPProblem("ties")
+    p.add_integer("x", lower=0, upper=4)
+    p.add_integer("y", lower=0, upper=4)
+    p.set_objective({"x": 1.0, "y": 1.0})
+    p.add_le({"x": 1.0, "y": 1.0}, 4.0)
+    # Many assignments reach the optimum 4; a feasible warm start at the
+    # optimum must be returned verbatim (plan stability under ties).
+    warm = {"x": 1.0, "y": 3.0}
+    solution = ExhaustiveSolver().solve(p, warm_start=warm)
+    assert solution.is_optimal and solution.warm_start_used
+    assert solution.objective == pytest.approx(4.0)
+    assert solution.values == {"x": 1, "y": 3}
+
+
+def test_exhaustive_infeasible_warm_start_ignored():
+    p = fraction_problem(8.0, S=6)
+    solution = ExhaustiveSolver().solve(p, warm_start={"x1": 1.0, "x2": 1.0, "f": 1.0})
+    assert solution.is_optimal
+    assert not solution.warm_start_used
