@@ -28,6 +28,7 @@ Quickstart::
     print(result.summary())
 """
 
+from repro.core.config import DEVICE_CLASSES, DeviceClass, FleetSpec, fleet_from_counts
 from repro.core.system import ServingSimulation, build_diffserve_system
 from repro.models.zoo import CASCADES, MODEL_ZOO, get_cascade, get_variant
 
@@ -36,6 +37,10 @@ __version__ = "0.1.0"
 __all__ = [
     "ServingSimulation",
     "build_diffserve_system",
+    "DeviceClass",
+    "FleetSpec",
+    "DEVICE_CLASSES",
+    "fleet_from_counts",
     "MODEL_ZOO",
     "CASCADES",
     "get_variant",

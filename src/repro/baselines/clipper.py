@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.allocator import AllocationPlan, ControlContext
-from repro.core.config import RoutingMode, SystemConfig
+from repro.core.config import FleetSpec, RoutingMode, SystemConfig
 from repro.core.policies import AllocationPolicy
 from repro.core.system import ServingSimulation
 from repro.models.dataset import QueryDataset, load_dataset
@@ -70,13 +70,18 @@ def build_clipper_system(
     cascade_name: str = "sdturbo",
     which: str = "light",
     *,
+    fleet: Optional[FleetSpec] = None,
     num_workers: int = 16,
     slo: Optional[float] = None,
     dataset: Optional[QueryDataset] = None,
     seed: int = 0,
     dataset_size: int = 1000,
 ) -> ServingSimulation:
-    """Build Clipper-Light (``which="light"``) or Clipper-Heavy (``which="heavy"``)."""
+    """Build Clipper-Light (``which="light"``) or Clipper-Heavy (``which="heavy"``).
+
+    ``fleet`` selects a typed device fleet; ``num_workers`` remains as a
+    deprecated homogeneous-cluster shim.
+    """
     if which not in ("light", "heavy"):
         raise ValueError("which must be 'light' or 'heavy'")
     cascade = get_cascade(cascade_name)
@@ -86,6 +91,7 @@ def build_clipper_system(
     config = SystemConfig(
         cascade=cascade,
         num_workers=num_workers,
+        fleet=fleet,
         slo=slo,
         routing=RoutingMode.SINGLE,
         seed=seed,

@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.allocator import AllocationPlan, ControlContext
-from repro.core.config import RoutingMode, SystemConfig
+from repro.core.config import FleetSpec, RoutingMode, SystemConfig
 from repro.core.policies import AllocationPolicy
 from repro.core.system import ServingSimulation
 from repro.models.dataset import QueryDataset, load_dataset
@@ -135,6 +135,7 @@ class ProteusPolicy(AllocationPolicy):
 def build_proteus_system(
     cascade_name: str = "sdturbo",
     *,
+    fleet: Optional[FleetSpec] = None,
     num_workers: int = 16,
     slo: Optional[float] = None,
     dataset: Optional[QueryDataset] = None,
@@ -142,13 +143,20 @@ def build_proteus_system(
     seed: int = 0,
     dataset_size: int = 1000,
 ) -> ServingSimulation:
-    """Build the Proteus baseline for a named cascade."""
+    """Build the Proteus baseline for a named cascade.
+
+    ``fleet`` selects a typed device fleet (``num_workers`` is the deprecated
+    homogeneous shim).  Proteus itself stays device-class-agnostic — it
+    scales model variants against the aggregate worker count, which is
+    exactly the heterogeneity-blindness the fleet study measures against.
+    """
     cascade = get_cascade(cascade_name)
     if dataset is None:
         dataset = load_dataset(cascade.dataset, n=dataset_size, seed=seed)
     config = SystemConfig(
         cascade=cascade,
         num_workers=num_workers,
+        fleet=fleet,
         slo=slo,
         routing=RoutingMode.RANDOM_SPLIT,
         seed=seed,

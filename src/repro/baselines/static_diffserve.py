@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.allocator import AllocationPlan, ControlContext, DiffServeAllocator
-from repro.core.config import RoutingMode, SystemConfig
+from repro.core.config import FleetSpec, RoutingMode, SystemConfig
 from repro.core.policies import AllocationPolicy
 from repro.core.system import ServingSimulation
 from repro.discriminators.base import Discriminator
@@ -42,7 +42,7 @@ class PeakProvisionedPolicy(AllocationPolicy):
             peak_ctx = ControlContext(
                 demand=self.anticipated_peak_qps,
                 slo=ctx.slo,
-                num_workers=ctx.num_workers,
+                fleet=ctx.fleet,
                 light_queue_length=0.0,
                 heavy_queue_length=0.0,
                 observed_deferral=None,
@@ -55,6 +55,7 @@ def build_diffserve_static_system(
     cascade_name: str = "sdturbo",
     *,
     anticipated_peak_qps: float,
+    fleet: Optional[FleetSpec] = None,
     num_workers: int = 16,
     slo: Optional[float] = None,
     dataset: Optional[QueryDataset] = None,
@@ -78,6 +79,7 @@ def build_diffserve_static_system(
     config = SystemConfig(
         cascade=cascade,
         num_workers=num_workers,
+        fleet=fleet,
         slo=slo,
         routing=RoutingMode.CASCADE,
         over_provision=over_provision,

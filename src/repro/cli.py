@@ -33,6 +33,7 @@ from repro.experiments import (
     fig7_discriminator,
     fig8_allocation_ablation,
     fig9_slo_sensitivity,
+    heterogeneity,
     milp_overhead,
     reuse_study,
 )
@@ -51,6 +52,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "milp": ("Section 4.5 MILP solver overhead", milp_overhead.main),
     "reuse": ("Section 5 reuse study", reuse_study.main),
     "drift": ("Drift adaptation: static vs. online re-planned plans", drift_adaptation.main),
+    "fleet": (
+        "Heterogeneous fleets: homogeneous vs. mixed at equal aggregate cost",
+        heterogeneity.main,
+    ),
 }
 
 
@@ -102,6 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
             "workload knobs, either comma-separated key=value floats "
             "('burst_factor=6,dwell_burst=5') or a JSON object "
             "('{\"burst_factor\": 6}'), forwarded to the workload catalog"
+        ),
+    )
+    runner.add_argument(
+        "--fleet",
+        default=None,
+        help=(
+            "typed device fleet, either comma-separated class=count pairs "
+            "('a100=8,l4=16') or a JSON object ('{\"a100\": 8, \"l4\": 16}'); "
+            "classes come from the built-in catalog (a100, h100, a10g, l4, t4) "
+            "and the fleet becomes a cached grid dimension replacing --workers"
         ),
     )
     runner.add_argument(
@@ -206,6 +221,59 @@ def parse_workload_params(text: Optional[str]) -> Dict[str, float]:
     return params
 
 
+def parse_fleet(text: Optional[str]) -> Optional[Dict[str, int]]:
+    """Parse a ``--fleet`` string into ``{device class: count}``.
+
+    Accepts comma-separated ``class=count`` pairs or a JSON object; every
+    failure mode raises :class:`ValueError` with a one-line message naming
+    the bad key (mirroring ``--workload-params``).  Class names and counts
+    are validated against the device catalog via the central
+    :class:`~repro.core.config.FleetSpec` checks.
+    """
+    stripped = (text or "").strip()
+    if not stripped:
+        return None
+    counts: Dict[str, int] = {}
+    if stripped.startswith(("{", "[")):
+        try:
+            decoded = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed JSON for --fleet: {exc}") from exc
+        if not isinstance(decoded, dict):
+            raise ValueError("--fleet JSON must be an object of class: count pairs")
+        items = decoded.items()
+    else:
+        items = []
+        for part in stripped.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            if not sep or not value:
+                raise ValueError(f"malformed fleet entry {part!r}; expected class=count")
+            items.append((key.strip(), value.strip()))
+    for key, value in items:
+        key = str(key)
+        if key in counts:
+            raise ValueError(f"duplicate fleet class {key!r}")
+        if isinstance(value, bool) or (
+            not isinstance(value, int) and not (isinstance(value, str) and value.isdigit())
+        ):
+            raise ValueError(
+                f"fleet class {key!r}: count must be a positive integer, got {value!r}"
+            )
+        counts[key] = int(value)
+    from repro.core.config import fleet_from_counts
+
+    try:
+        # Central validation: unknown classes / bad counts fail here with the
+        # catalog's one-line message.
+        fleet_from_counts(counts)
+    except KeyError as exc:
+        raise ValueError(str(exc).strip("'\"")) from exc
+    return counts
+
+
 def parse_grid(
     text: str,
     scale: ExperimentScale,
@@ -214,6 +282,7 @@ def parse_grid(
     workload_params: Optional[str] = None,
     replan_epoch: Optional[float] = None,
     replan_policy: Optional[str] = None,
+    fleet: Optional[str] = None,
 ):
     """Build an :class:`~repro.runner.spec.ExperimentGrid` from a ``--grid`` spec.
 
@@ -230,6 +299,9 @@ def parse_grid(
     error instead of surfacing as a traceback from inside a grid cell.
     ``replan_epoch``/``replan_policy`` (the ``--replan-*`` flags) attach the
     online re-planning control plane to every cell as cached grid params.
+    ``fleet`` (the ``--fleet`` flag) runs every cell on a typed device fleet
+    instead of the homogeneous ``--workers`` cluster — a real (cached) grid
+    dimension, validated eagerly against the device catalog.
     """
     from repro.runner.spec import DEFAULT_SYSTEMS, ExperimentGrid, TraceSpec
 
@@ -303,6 +375,7 @@ def parse_grid(
         systems=systems,
         traces=traces,
         params_list=params_list,
+        fleets=(parse_fleet(fleet),),
     )
 
 
@@ -321,6 +394,7 @@ def run_grid_command(args: argparse.Namespace) -> int:
             workload_params=args.workload_params,
             replan_epoch=args.replan_epoch,
             replan_policy=args.replan_policy,
+            fleet=args.fleet,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

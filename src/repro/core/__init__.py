@@ -13,8 +13,16 @@ This package implements the paper's primary contribution:
   :mod:`repro.core.system`.
 """
 
-from repro.core.allocator import AllocationPlan, DiffServeAllocator
-from repro.core.config import SystemConfig, RoutingMode
+from repro.core.allocator import AllocationPlan, ControlContext, DiffServeAllocator
+from repro.core.config import (
+    DEVICE_CLASSES,
+    DeviceClass,
+    FleetSpec,
+    RoutingMode,
+    SystemConfig,
+    fleet_from_counts,
+    get_device_class,
+)
 from repro.core.controller import Controller
 from repro.core.demand import DemandEstimator
 from repro.core.load_balancer import LoadBalancer
@@ -31,6 +39,12 @@ __all__ = [
     "QueryStage",
     "SystemConfig",
     "RoutingMode",
+    "DeviceClass",
+    "FleetSpec",
+    "DEVICE_CLASSES",
+    "fleet_from_counts",
+    "get_device_class",
+    "ControlContext",
     "Worker",
     "LoadBalancer",
     "Controller",

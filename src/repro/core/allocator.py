@@ -1,4 +1,4 @@
-"""The DiffServe resource allocator (Section 3.3).
+"""The DiffServe resource allocator (Section 3.3), fleet-aware.
 
 The allocator jointly picks the confidence threshold ``t``, the worker split
 ``(x1, x2)`` between the lightweight and heavyweight models, and their batch
@@ -8,6 +8,14 @@ sizes ``(b1, b2)``, maximising ``t`` subject to:
 * the light-pool throughput constraint ``x1 * T1(b1) >= D`` (Eq. 2);
 * the heavy-pool throughput constraint ``x2 * T2(b2) >= D * f(t)`` (Eq. 3);
 * the device budget ``x1 + x2 <= S`` (Eq. 4).
+
+On a heterogeneous :class:`~repro.core.config.FleetSpec` the worker split is
+typed: each decision variable is indexed by device class (``x1[l4]``,
+``x2[a100]``, ...), throughputs come from the per-(variant, device-class)
+latency profiles, Eq. 4 becomes one capacity constraint per class, and memory
+tiers gate which classes may host which variant.  A homogeneous fleet
+degenerates to the exact legacy two-variable problem, so single-class
+configurations reproduce pre-fleet allocation decisions bit-for-bit.
 
 ``f(t)`` — the fraction of queries deferred at threshold ``t`` — is an
 empirical, piecewise-constant function, so the threshold is discretised onto
@@ -24,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.config import DeviceClass, FleetSpec
 from repro.core.queueing import LittlesLawModel, QueueingModel
 from repro.discriminators.deferral import DeferralProfile
 from repro.milp.branch_and_bound import BranchAndBoundSolver
@@ -31,6 +40,7 @@ from repro.milp.exhaustive import ExhaustiveSolver
 from repro.milp.problem import MILPProblem
 from repro.milp.solution import MILPSolution
 from repro.models.variants import ModelVariant
+from repro.models.zoo import variant_profile
 
 
 @dataclass
@@ -39,9 +49,14 @@ class AllocationPlan:
 
     ``num_light`` workers host the light model (plus discriminator),
     ``num_heavy`` host the heavy model, with the given batch sizes and
-    confidence threshold.  ``heavy_fraction`` is only used by random-split
-    (Proteus-style) routing.  ``light_variant_name`` / ``heavy_variant_name``
-    allow baseline policies to place other model variants on the two pools.
+    confidence threshold.  On a heterogeneous fleet the optional
+    ``light_assignment`` / ``heavy_assignment`` maps name each pool's
+    per-device-class worker counts (they must sum to the totals); ``None``
+    means the split is class-agnostic and the Controller assigns workers in
+    fleet order (the legacy behaviour every baseline policy relies on).
+    ``heavy_fraction`` is only used by random-split (Proteus-style) routing.
+    ``light_variant_name`` / ``heavy_variant_name`` allow baseline policies
+    to place other model variants on the two pools.
     """
 
     num_light: int
@@ -60,6 +75,10 @@ class AllocationPlan:
     #: sampler); they take precedence over the ``*_variant_name`` fields.
     light_variant: Optional[object] = None
     heavy_variant: Optional[object] = None
+    #: Per-device-class worker counts (``{class name: count}``, positive
+    #: entries only) for typed fleets; ``None`` for class-agnostic plans.
+    light_assignment: Optional[Dict[str, int]] = None
+    heavy_assignment: Optional[Dict[str, int]] = None
 
     def __post_init__(self) -> None:
         if self.num_light < 0 or self.num_heavy < 0:
@@ -70,6 +89,16 @@ class AllocationPlan:
             raise ValueError("threshold must lie in [0, 1]")
         if not 0.0 <= self.heavy_fraction <= 1.0:
             raise ValueError("heavy_fraction must lie in [0, 1]")
+        for label, assignment, total in (
+            ("light", self.light_assignment, self.num_light),
+            ("heavy", self.heavy_assignment, self.num_heavy),
+        ):
+            if assignment is None:
+                continue
+            if any(count < 0 for count in assignment.values()):
+                raise ValueError(f"{label}_assignment counts must be non-negative")
+            if sum(assignment.values()) != total:
+                raise ValueError(f"{label}_assignment must sum to num_{label} ({total})")
 
     @property
     def total_workers(self) -> int:
@@ -79,11 +108,18 @@ class AllocationPlan:
 
 @dataclass
 class ControlContext:
-    """Runtime statistics the Controller feeds into the allocator."""
+    """Runtime statistics the Controller feeds into the allocator.
+
+    ``fleet`` is the typed device fleet the plan must fit; ``num_workers`` is
+    accepted as a deprecated alias for a homogeneous baseline-class fleet and
+    always reads back as ``fleet.total_workers``.  Fleet validation happens
+    in :class:`~repro.core.config.FleetSpec` (the single validation site).
+    """
 
     demand: float
     slo: float
-    num_workers: int
+    fleet: Optional[FleetSpec] = None
+    num_workers: Optional[int] = None
     light_queue_length: float = 0.0
     heavy_queue_length: float = 0.0
     observed_deferral: Optional[float] = None
@@ -96,8 +132,13 @@ class ControlContext:
             raise ValueError("demand must be non-negative")
         if self.slo <= 0:
             raise ValueError("slo must be positive")
-        if self.num_workers < 1:
-            raise ValueError("num_workers must be >= 1")
+        if self.fleet is None:
+            if self.num_workers is None:
+                raise ValueError(
+                    "ControlContext requires a fleet (or the deprecated num_workers alias)"
+                )
+            self.fleet = FleetSpec.homogeneous(int(self.num_workers))
+        self.num_workers = self.fleet.total_workers
 
 
 class DiffServeAllocator:
@@ -168,70 +209,176 @@ class DiffServeAllocator:
         self.threshold_grid = self._build_threshold_grid(levels)
 
     # --------------------------------------------------------------- latency
-    def _light_execution(self, batch: int) -> float:
-        return self.light.latency.latency(batch) + self.discriminator_latency * batch
+    def _light_execution(self, batch: int, device: Optional[DeviceClass] = None) -> float:
+        profile = variant_profile(self.light, device)
+        return profile.latency(batch) + self.discriminator_latency * batch
 
-    def _heavy_execution(self, batch: int) -> float:
-        return self.heavy.latency.latency(batch)
+    def _heavy_execution(self, batch: int, device: Optional[DeviceClass] = None) -> float:
+        return variant_profile(self.heavy, device).latency(batch)
 
-    def _latency_budget_ok(self, ctx: ControlContext, b1: int, b2: int, demand: float) -> bool:
-        e1 = self._light_execution(b1)
-        e2 = self._heavy_execution(b2)
+    def _light_throughput(self, batch: int, device: Optional[DeviceClass] = None) -> float:
+        return variant_profile(self.light, device).throughput(batch)
+
+    def _heavy_throughput(self, batch: int, device: Optional[DeviceClass] = None) -> float:
+        return variant_profile(self.heavy, device).throughput(batch)
+
+    # ---------------------------------------------------------- device classes
+    def _hostable_classes(
+        self, fleet: FleetSpec
+    ) -> Tuple[List[DeviceClass], List[DeviceClass]]:
+        """(light, heavy) classes whose memory tier fits each variant."""
+        light = [device for device in fleet.classes if device.can_host(self.light)]
+        heavy = [device for device in fleet.classes if device.can_host(self.heavy)]
+        if not light:
+            raise ValueError(
+                f"no device class in fleet {fleet.token()!r} can host light variant "
+                f"{self.light.name!r} ({self.light.memory_gb} GB)"
+            )
+        return light, heavy
+
+    def _eligible_classes(
+        self, ctx: ControlContext, b1: int, b2: int, demand: float
+    ) -> Tuple[List[DeviceClass], List[DeviceClass]]:
+        """Classes allowed to host each stage for a fixed batch pair.
+
+        Starts from memory-fitting classes whose per-stage execution latency
+        fits the SLO, then enforces the end-to-end latency budget (Eq. 1) on
+        the *worst-case* cascade path: while the slowest light-eligible plus
+        slowest heavy-eligible class blow the budget, the slowest class of
+        the stage contributing more is evicted (ties evict from the heavy
+        stage) and the check repeats.  On a homogeneous fleet there is
+        nothing to evict, so the pair is simply feasible or not — exactly
+        the pre-fleet behaviour.  Either returned list may be empty (the
+        pair is infeasible).
+        """
+        light, heavy = self._hostable_classes(ctx.fleet)
+        light = [d for d in light if self._light_execution(b1, d) <= ctx.slo]
+        heavy = [d for d in heavy if self._heavy_execution(b2, d) <= ctx.slo]
         deferral_guess = ctx.observed_deferral if ctx.observed_deferral is not None else 0.3
         heavy_rate = max(demand * deferral_guess, 1e-3)
-        q1 = self.queueing_model.waiting_time(ctx.light_queue_length, max(demand, 1e-3), e1)
-        q2 = self.queueing_model.waiting_time(ctx.heavy_queue_length, heavy_rate, e2)
-        return e1 + q1 + e2 + q2 <= ctx.slo
+        while light and heavy:
+            e1 = max(self._light_execution(b1, d) for d in light)
+            e2 = max(self._heavy_execution(b2, d) for d in heavy)
+            q1 = self.queueing_model.waiting_time(
+                ctx.light_queue_length, max(demand, 1e-3), e1
+            )
+            q2 = self.queueing_model.waiting_time(ctx.heavy_queue_length, heavy_rate, e2)
+            if e1 + q1 + e2 + q2 <= ctx.slo:
+                return light, heavy
+            if len(heavy) > 1 and (e2 >= e1 or len(light) == 1):
+                heavy = [d for d in heavy if self._heavy_execution(b2, d) < e2]
+            elif len(light) > 1:
+                light = [d for d in light if self._light_execution(b1, d) < e1]
+            else:
+                return [], []
+        return [], []
 
     # ----------------------------------------------------------------- MILP
     def build_problem(
-        self, ctx: ControlContext, b1: int, b2: int, demand: float, *, formulation: str = "fraction"
+        self,
+        ctx: ControlContext,
+        b1: int,
+        b2: int,
+        demand: float,
+        *,
+        formulation: str = "fraction",
+        light_classes: Optional[Sequence[DeviceClass]] = None,
+        heavy_classes: Optional[Sequence[DeviceClass]] = None,
     ) -> MILPProblem:
-        """The MILP over (x1, x2, threshold) for fixed batch sizes.
+        """The MILP over (worker split, threshold) for fixed batch sizes.
 
         Two equivalent formulations are supported:
 
         * ``"fraction"`` (default): since ``f(t)`` is monotonically
           non-decreasing, maximising ``t`` is equivalent to maximising the
           deferred fraction ``f`` itself and mapping the optimum back through
-          ``f^{-1}``.  This keeps the MILP tiny (two integers plus one
-          continuous variable) and is what the system solves online.
+          ``f^{-1}``.  This keeps the MILP tiny (a handful of integers plus
+          one continuous variable) and is what the system solves online.
         * ``"binary"``: the literal discretised-threshold formulation with one
           binary selector per grid level, used to cross-check the fraction
           formulation in tests.
+
+        On a homogeneous fleet the problem keeps the legacy two-variable
+        shape (``x1``/``x2``); a mixed fleet indexes the split by device
+        class (``x1[l4]``, ``x2[a100]``, ...) with one capacity constraint
+        per class and a ``min-light`` row replacing the legacy lower bound.
+        ``light_classes`` / ``heavy_classes`` restrict which classes each
+        stage may use (the plan loop passes the SLO-eligible sets); they
+        default to the memory-fitting classes.
         """
+        if formulation not in ("fraction", "binary"):
+            raise ValueError("formulation must be 'fraction' or 'binary'")
+        fleet = ctx.fleet
+        if light_classes is None or heavy_classes is None:
+            light_classes, heavy_classes = self._hostable_classes(fleet)
         problem = MILPProblem(name=f"diffserve-b{b1}-b{b2}")
-        S = ctx.num_workers
-        problem.add_integer("x1", lower=self.min_light_workers, upper=S)
-        problem.add_integer("x2", lower=0, upper=S)
-        t1 = self.light.latency.throughput(b1)
-        t2 = self.heavy.latency.throughput(b2)
+
+        if fleet.is_homogeneous:
+            # Degenerate single-class case: the exact legacy problem shape
+            # (variable names and bounds), so homogeneous fleets reproduce
+            # pre-fleet solver decisions bit-for-bit.
+            device = fleet.classes[0]
+            S = fleet.total_workers
+            problem.add_integer("x1", lower=self.min_light_workers, upper=S)
+            problem.add_integer("x2", lower=0, upper=S)
+            light_vars = {"x1": self._light_throughput(b1, device)}
+            heavy_vars = {"x2": -self._heavy_throughput(b2, device)}
+            capacity_rows = [({"x1": 1.0, "x2": 1.0}, float(S), "device-budget")]
+            min_light_row = None
+        else:
+            light_vars = {}
+            for device in light_classes:
+                problem.add_integer(
+                    f"x1[{device.name}]", lower=0, upper=fleet.count_for(device.name)
+                )
+                light_vars[f"x1[{device.name}]"] = self._light_throughput(b1, device)
+            heavy_vars = {}
+            for device in heavy_classes:
+                problem.add_integer(
+                    f"x2[{device.name}]", lower=0, upper=fleet.count_for(device.name)
+                )
+                heavy_vars[f"x2[{device.name}]"] = -self._heavy_throughput(b2, device)
+            if not light_vars:
+                raise ValueError(
+                    f"no device class may host the light pool at batch {b1} "
+                    f"(fleet {fleet.token()!r})"
+                )
+            capacity_rows = []
+            for device, count in fleet.devices:
+                row = {}
+                if f"x1[{device.name}]" in light_vars:
+                    row[f"x1[{device.name}]"] = 1.0
+                if f"x2[{device.name}]" in heavy_vars:
+                    row[f"x2[{device.name}]"] = 1.0
+                if row:
+                    capacity_rows.append((row, float(count), f"capacity[{device.name}]"))
+            min_light_row = {name: 1.0 for name in light_vars}
 
         if formulation == "fraction":
             problem.add_continuous("f", lower=0.0, upper=1.0)
             problem.set_objective({"f": 1.0})
-            problem.add_ge({"x1": t1}, demand, name="light-throughput")
-            problem.add_le({"f": demand, "x2": -t2}, 0.0, name="heavy-throughput")
-            problem.add_le({"x1": 1.0, "x2": 1.0}, S, name="device-budget")
-            return problem
-        if formulation != "binary":
-            raise ValueError("formulation must be 'fraction' or 'binary'")
+            problem.add_ge(light_vars, demand, name="light-throughput")
+            heavy_row = {"f": demand, **heavy_vars}
+            problem.add_le(heavy_row, 0.0, name="heavy-throughput")
+        else:
+            objective: Dict[str, float] = {}
+            sum_z: Dict[str, float] = {}
+            heavy_row = dict(heavy_vars)
+            for k, (threshold, fraction) in enumerate(self.threshold_grid):
+                name = f"z{k}"
+                problem.add_binary(name)
+                objective[name] = threshold
+                sum_z[name] = 1.0
+                heavy_row[name] = demand * fraction
+            problem.set_objective(objective)
+            problem.add_eq(sum_z, 1.0, name="one-threshold")
+            problem.add_ge(light_vars, demand, name="light-throughput")
+            problem.add_le(heavy_row, 0.0, name="heavy-throughput")
 
-        objective: Dict[str, float] = {}
-        sum_z: Dict[str, float] = {}
-        heavy_demand: Dict[str, float] = {"x2": -t2}
-        for k, (threshold, fraction) in enumerate(self.threshold_grid):
-            name = f"z{k}"
-            problem.add_binary(name)
-            objective[name] = threshold
-            sum_z[name] = 1.0
-            heavy_demand[name] = demand * fraction
-
-        problem.set_objective(objective)
-        problem.add_eq(sum_z, 1.0, name="one-threshold")
-        problem.add_ge({"x1": t1}, demand, name="light-throughput")
-        problem.add_le(heavy_demand, 0.0, name="heavy-throughput")
-        problem.add_le({"x1": 1.0, "x2": 1.0}, S, name="device-budget")
+        for row, rhs, name in capacity_rows:
+            problem.add_le(row, rhs, name=name)
+        if min_light_row is not None:
+            problem.add_ge(min_light_row, float(self.min_light_workers), name="min-light")
         return problem
 
     def _solve_pair(
@@ -241,21 +388,52 @@ class DiffServeAllocator:
         b2: int,
         demand: float,
         warm_assignment: Optional[Dict[str, float]] = None,
+        light_classes: Optional[Sequence[DeviceClass]] = None,
+        heavy_classes: Optional[Sequence[DeviceClass]] = None,
     ) -> MILPSolution:
         """Solve the fixed-batch MILP, routing small instances to the LP-free
         exhaustive solver and seeding the incumbent when a warm start exists."""
-        problem = self.build_problem(ctx, b1, b2, demand)
+        problem = self.build_problem(
+            ctx, b1, b2, demand, light_classes=light_classes, heavy_classes=heavy_classes
+        )
         if self.exhaustive_cutoff:
             size = self.exhaustive_solver.search_space(problem)
             if size is not None and 0 < size <= self.exhaustive_cutoff:
                 return self.exhaustive_solver.solve(problem, warm_start=warm_assignment)
         return self.solver.solve(problem, warm_start=warm_assignment)
 
-    def _plan_from_solution(self, solution: MILPSolution, b1: int, b2: int) -> AllocationPlan:
+    def _plan_from_solution(
+        self,
+        solution: MILPSolution,
+        b1: int,
+        b2: int,
+        light_classes: Sequence[DeviceClass],
+        heavy_classes: Sequence[DeviceClass],
+    ) -> AllocationPlan:
         threshold, fraction = self._threshold_from_solution(solution)
+        if "x1" in solution.values:
+            # Homogeneous legacy naming: one class hosts both pools.
+            name = light_classes[0].name
+            num_light = solution.get_int("x1")
+            num_heavy = solution.get_int("x2")
+            light_assignment = {name: num_light} if num_light else {}
+            heavy_assignment = {name: num_heavy} if num_heavy else {}
+        else:
+            light_assignment = {}
+            for device in light_classes:
+                count = solution.get_int(f"x1[{device.name}]")
+                if count:
+                    light_assignment[device.name] = count
+            heavy_assignment = {}
+            for device in heavy_classes:
+                count = solution.get_int(f"x2[{device.name}]")
+                if count:
+                    heavy_assignment[device.name] = count
+            num_light = sum(light_assignment.values())
+            num_heavy = sum(heavy_assignment.values())
         return AllocationPlan(
-            num_light=solution.get_int("x1"),
-            num_heavy=solution.get_int("x2"),
+            num_light=num_light,
+            num_heavy=num_heavy,
             light_batch=b1,
             heavy_batch=b2,
             threshold=threshold,
@@ -263,31 +441,40 @@ class DiffServeAllocator:
             feasible=True,
             objective=solution.objective,
             solver_time_s=solution.solve_time_s,
+            light_assignment=light_assignment,
+            heavy_assignment=heavy_assignment,
         )
 
-    def _candidate_pairs(self, ctx: ControlContext, demand: float) -> List[Tuple[int, int]]:
-        """(b1, b2) pairs the sweep considers, largest light batch first.
+    def _candidate_allocations(
+        self, ctx: ControlContext, demand: float
+    ) -> List[Tuple[int, int, List[DeviceClass], List[DeviceClass]]]:
+        """(b1, b2, light classes, heavy classes) tuples the sweep considers,
+        largest light batch first.
 
         Larger batches give strictly higher worker throughput, so for each
         light batch size only the largest heavy batch that still fits the
         latency budget can be optimal.
         """
-        pairs: List[Tuple[int, int]] = []
+        allocations: List[Tuple[int, int, List[DeviceClass], List[DeviceClass]]] = []
         for b1 in sorted(self.batch_candidates, reverse=True):
-            if self._light_execution(b1) > ctx.slo:
-                continue
-            feasible_b2 = [
-                b2
-                for b2 in self.batch_candidates
-                if self._heavy_execution(b2) <= ctx.slo
-                and self._latency_budget_ok(ctx, b1, b2, demand)
-            ]
-            if feasible_b2:
-                pairs.append((b1, max(feasible_b2)))
-        return pairs
+            best_b2: Optional[Tuple[int, List[DeviceClass], List[DeviceClass]]] = None
+            for b2 in self.batch_candidates:
+                light, heavy = self._eligible_classes(ctx, b1, b2, demand)
+                if light and heavy and (best_b2 is None or b2 > best_b2[0]):
+                    best_b2 = (b2, light, heavy)
+            if best_b2 is not None:
+                allocations.append((b1, best_b2[0], best_b2[1], best_b2[2]))
+        return allocations
 
     def _warm_assignment(
-        self, previous: AllocationPlan, b1: int, b2: int, demand: float, ctx: ControlContext
+        self,
+        previous: AllocationPlan,
+        b1: int,
+        b2: int,
+        demand: float,
+        ctx: ControlContext,
+        light_classes: Sequence[DeviceClass],
+        heavy_classes: Sequence[DeviceClass],
     ) -> Dict[str, float]:
         """Repair the previous epoch's split into a candidate incumbent.
 
@@ -296,34 +483,160 @@ class DiffServeAllocator:
         heavy pool keeps as many of its workers as the budget allows, and the
         deferred fraction takes its maximal value for that split — making the
         incumbent as strong as the previous worker split permits.
-        """
-        t1 = self.light.latency.throughput(b1)
-        t2 = self.heavy.latency.throughput(b2)
-        S = ctx.num_workers
-        min_x1 = int(np.ceil(demand / t1)) if t1 > 0 else S
-        x1 = min(max(previous.num_light, self.min_light_workers, min_x1), S)
-        x2 = max(min(previous.num_heavy, S - x1), 0)
-        f = min(1.0, x2 * t2 / demand) if demand > 0 else 1.0
-        return {"x1": float(x1), "x2": float(x2), "f": float(f)}
 
-    def _fraction_upper_bound(self, b1: int, b2: int, demand: float, S: int) -> float:
+        The repair is robust to fleet-shape drift: per-class counts from the
+        previous plan are clamped to the current fleet's counts, classes that
+        disappeared (or are no longer eligible for a stage) are dropped, and
+        the light pool is re-grown on the remaining classes — an incumbent
+        the solver then re-validates, so a stale shape can never crash a
+        re-solve.
+        """
+        fleet = ctx.fleet
+        if fleet.is_homogeneous:
+            device = fleet.classes[0]
+            t1 = self._light_throughput(b1, device)
+            t2 = self._heavy_throughput(b2, device)
+            S = fleet.total_workers
+            min_x1 = int(np.ceil(demand / t1)) if t1 > 0 else S
+            x1 = min(max(previous.num_light, self.min_light_workers, min_x1), S)
+            x2 = max(min(previous.num_heavy, S - x1), 0)
+            f = min(1.0, x2 * t2 / demand) if demand > 0 else 1.0
+            return {"x1": float(x1), "x2": float(x2), "f": float(f)}
+
+        counts = fleet.as_counts()
+        light_names = [d.name for d in light_classes]
+        heavy_names = [d.name for d in heavy_classes]
+        prev_light = dict(previous.light_assignment or {})
+        prev_heavy = dict(previous.heavy_assignment or {})
+        if previous.light_assignment is None and previous.num_light:
+            # Class-agnostic previous plan: spread its totals in fleet order.
+            remaining = previous.num_light
+            for name in light_names:
+                take = min(remaining, counts[name])
+                prev_light[name] = take
+                remaining -= take
+        if previous.heavy_assignment is None and previous.num_heavy:
+            remaining = previous.num_heavy
+            for name in heavy_names:
+                take = min(remaining, counts[name])
+                prev_heavy[name] = take
+                remaining -= take
+
+        # Clamp to the current fleet shape: drop unknown/ineligible classes,
+        # cap counts that shrank, and resolve per-class over-subscription by
+        # shrinking the heavy side (the light side is re-grown next).
+        x1 = {name: min(prev_light.get(name, 0), counts[name]) for name in light_names}
+        x2 = {name: min(prev_heavy.get(name, 0), counts[name]) for name in heavy_names}
+        for name in heavy_names:
+            over = x1.get(name, 0) + x2[name] - counts[name]
+            if over > 0:
+                x2[name] = max(x2[name] - over, 0)
+
+        def light_capacity() -> float:
+            return sum(x1[name] * self._light_throughput(b1, d)
+                       for name, d in zip(light_names, light_classes))
+
+        # Grow the light pool until it covers demand (and min_light): free
+        # slots first on the highest-throughput classes, then slots stolen
+        # from the heavy pool, cheapest heavy capacity first.
+        by_light_tput = sorted(
+            zip(light_names, light_classes),
+            key=lambda nd: (-self._light_throughput(b1, nd[1]), nd[0]),
+        )
+        for name, device in by_light_tput:
+            while light_capacity() < demand or sum(x1.values()) < self.min_light_workers:
+                free = counts[name] - x1[name] - x2.get(name, 0)
+                if free <= 0:
+                    break
+                x1[name] += 1
+            else:
+                break
+        if light_capacity() < demand or sum(x1.values()) < self.min_light_workers:
+            by_heavy_cost = sorted(
+                ((name, d) for name, d in zip(heavy_names, heavy_classes) if name in x1),
+                key=lambda nd: (self._heavy_throughput(b2, nd[1]), nd[0]),
+            )
+            for name, device in by_heavy_cost:
+                while x2[name] > 0 and (
+                    light_capacity() < demand or sum(x1.values()) < self.min_light_workers
+                ):
+                    x2[name] -= 1
+                    x1[name] += 1
+
+        heavy_capacity = sum(
+            x2[name] * self._heavy_throughput(b2, d)
+            for name, d in zip(heavy_names, heavy_classes)
+        )
+        f = min(1.0, heavy_capacity / demand) if demand > 0 else 1.0
+        assignment: Dict[str, float] = {"f": float(f)}
+        for name in light_names:
+            assignment[f"x1[{name}]"] = float(x1[name])
+        for name in heavy_names:
+            assignment[f"x2[{name}]"] = float(x2[name])
+        return assignment
+
+    def _fraction_upper_bound(
+        self,
+        b1: int,
+        b2: int,
+        demand: float,
+        fleet: FleetSpec,
+        light_classes: Sequence[DeviceClass],
+        heavy_classes: Sequence[DeviceClass],
+    ) -> float:
         """Closed-form LP-relaxation bound of the fraction formulation.
 
-        With ``x1`` relaxed to ``max(min_light, D/t1)`` and the rest of the
-        budget given to the heavy pool, the deferred fraction can never exceed
-        ``min(1, (S - x1) * t2 / D)``.  Any integer-feasible plan for this
-        batch pair is bounded by it, which is what lets a warm re-solve skip
-        pairs that cannot beat the incumbent carried over from the previous
-        epoch.
+        Homogeneous case: with ``x1`` relaxed to ``max(min_light, D/t1)`` and
+        the rest of the budget given to the heavy pool, the deferred fraction
+        can never exceed ``min(1, (S - x1) * t2 / D)``.
+
+        Heterogeneous case: a fractional greedy covers the light demand at
+        minimal heavy-capacity cost — light-only classes first (they cost no
+        heavy capacity), then ascending ``t2/t1`` — and whatever heavy
+        capacity survives bounds ``f``.  Integrality and the min-light row
+        are relaxed, so this is a true upper bound on any integer-feasible
+        plan, which is what lets a warm re-solve skip batch pairs that cannot
+        beat the incumbent carried over from the previous epoch.
         """
-        t1 = self.light.latency.throughput(b1)
-        t2 = self.heavy.latency.throughput(b2)
-        if t1 <= 0 or demand <= 0:
+        if demand <= 0:
             return -np.inf
-        x1_relaxed = max(float(self.min_light_workers), demand / t1)
-        if x1_relaxed > S:
+        if fleet.is_homogeneous:
+            device = fleet.classes[0]
+            t1 = self._light_throughput(b1, device)
+            t2 = self._heavy_throughput(b2, device)
+            S = fleet.total_workers
+            if t1 <= 0:
+                return -np.inf
+            x1_relaxed = max(float(self.min_light_workers), demand / t1)
+            if x1_relaxed > S:
+                return -np.inf
+            return min(1.0, max(0.0, S - x1_relaxed) * t2 / demand)
+
+        heavy_names = {d.name for d in heavy_classes}
+        heavy_cap = sum(
+            fleet.count_for(d.name) * self._heavy_throughput(b2, d) for d in heavy_classes
+        )
+        remaining = demand
+
+        def greedy_key(device: DeviceClass) -> Tuple[int, float, str]:
+            t1 = self._light_throughput(b1, device)
+            if device.name not in heavy_names:
+                return (0, 0.0, device.name)
+            return (1, self._heavy_throughput(b2, device) / max(t1, 1e-12), device.name)
+
+        for device in sorted(light_classes, key=greedy_key):
+            if remaining <= 1e-12:
+                break
+            t1 = self._light_throughput(b1, device)
+            if t1 <= 0:
+                continue
+            take = min(float(fleet.count_for(device.name)), remaining / t1)
+            remaining -= take * t1
+            if device.name in heavy_names:
+                heavy_cap -= take * self._heavy_throughput(b2, device)
+        if remaining > 1e-9:
             return -np.inf
-        return min(1.0, max(0.0, S - x1_relaxed) * t2 / demand)
+        return min(1.0, max(0.0, heavy_cap) / demand)
 
     def plan(
         self, ctx: ControlContext, *, warm_start: Optional[AllocationPlan] = None
@@ -341,7 +654,7 @@ class DiffServeAllocator:
         start = time.perf_counter()
         demand = max(ctx.demand, 1e-3) * self.over_provision
         max_threshold = max(t for t, _ in self.threshold_grid)
-        pairs = self._candidate_pairs(ctx, demand)
+        allocations = self._candidate_allocations(ctx, demand)
         self.last_warm_start_used = False
         if warm_start is None:
             self.cold_solves += 1
@@ -350,54 +663,101 @@ class DiffServeAllocator:
             # Re-solve the previous plan's batch pair first: its solution is
             # the bound every other pair must beat.
             prev_pair = (warm_start.light_batch, warm_start.heavy_batch)
-            if prev_pair in pairs:
-                pairs = [prev_pair] + [p for p in pairs if p != prev_pair]
+            head = [a for a in allocations if (a[0], a[1]) == prev_pair]
+            allocations = head + [a for a in allocations if (a[0], a[1]) != prev_pair]
 
         best: Optional[AllocationPlan] = None
-        for b1, b2 in pairs:
+        best_classes: Tuple[List[DeviceClass], List[DeviceClass]] = ([], [])
+        for b1, b2, light_classes, heavy_classes in allocations:
             if best is not None and best.threshold >= max_threshold:
                 break
             warm_assignment = None
             if warm_start is not None:
                 if best is not None and best.objective is not None:
-                    bound = self._fraction_upper_bound(b1, b2, demand, ctx.num_workers)
+                    bound = self._fraction_upper_bound(
+                        b1, b2, demand, ctx.fleet, light_classes, heavy_classes
+                    )
                     if bound <= best.objective + 1e-9:
                         self.pairs_pruned_by_bound += 1
                         continue
-                warm_assignment = self._warm_assignment(warm_start, b1, b2, demand, ctx)
-            solution = self._solve_pair(ctx, b1, b2, demand, warm_assignment)
+                warm_assignment = self._warm_assignment(
+                    warm_start, b1, b2, demand, ctx, light_classes, heavy_classes
+                )
+            solution = self._solve_pair(
+                ctx, b1, b2, demand, warm_assignment, light_classes, heavy_classes
+            )
             if not solution.is_optimal:
                 continue
             if solution.warm_start_used:
                 self.warm_start_hits += 1
                 self.last_warm_start_used = True
-            plan = self._plan_from_solution(solution, b1, b2)
+            plan = self._plan_from_solution(solution, b1, b2, light_classes, heavy_classes)
             if best is None or self._plan_key(plan) > self._plan_key(best):
                 best = plan
+                best_classes = (light_classes, heavy_classes)
         elapsed = time.perf_counter() - start
         self.last_solve_time_s = elapsed
         self.solve_times.append(elapsed)
         if best is None:
             return self._best_effort_plan(ctx, elapsed)
-        best = self._assign_spare_workers(best, ctx.num_workers)
+        best = self._assign_spare_workers(best, ctx.fleet, *best_classes)
         best.solver_time_s = elapsed
         return best
 
-    @staticmethod
-    def _assign_spare_workers(plan: AllocationPlan, num_workers: int) -> AllocationPlan:
+    def _assign_spare_workers(
+        self,
+        plan: AllocationPlan,
+        fleet: FleetSpec,
+        light_classes: Sequence[DeviceClass] = (),
+        heavy_classes: Sequence[DeviceClass] = (),
+    ) -> AllocationPlan:
         """Idle devices are wasted; give spares to whichever pool is in use.
 
         Spare workers go to the heavy pool when the plan defers any queries
-        (extra heavy capacity shrinks queueing delays), otherwise to the light
-        pool.
+        (extra heavy capacity shrinks queueing delays), otherwise to the
+        light pool.  On a typed fleet the rule is per class and the order is
+        pinned: classes are visited fastest first (ascending ``speed_factor``,
+        ties broken by name), each class's spares join the preferred pool
+        only if the class is eligible for it (memory and SLO), falling back
+        to the other pool's eligibility, and stay idle when neither fits.
         """
-        spare = num_workers - plan.total_workers
-        if spare <= 0:
+        spare_total = fleet.total_workers - plan.total_workers
+        if spare_total <= 0:
             return plan
-        if plan.heavy_fraction > 0 and plan.num_heavy > 0:
-            plan.num_heavy += spare
-        else:
-            plan.num_light += spare
+        prefer_heavy = plan.heavy_fraction > 0 and plan.num_heavy > 0
+        if plan.light_assignment is None and plan.heavy_assignment is None:
+            # Class-agnostic plan (baseline policies): legacy totals-only rule.
+            if prefer_heavy:
+                plan.num_heavy += spare_total
+            else:
+                plan.num_light += spare_total
+            return plan
+
+        light_ok = {d.name for d in light_classes} or {d.name for d in fleet.classes
+                                                       if d.can_host(self.light)}
+        heavy_ok = {d.name for d in heavy_classes} or {d.name for d in fleet.classes
+                                                       if d.can_host(self.heavy)}
+        light = dict(plan.light_assignment or {})
+        heavy = dict(plan.heavy_assignment or {})
+        for device, count in sorted(
+            fleet.devices, key=lambda dc: (dc[0].speed_factor, dc[0].name)
+        ):
+            name = device.name
+            spare = count - light.get(name, 0) - heavy.get(name, 0)
+            if spare <= 0:
+                continue
+            pools = ("heavy", "light") if prefer_heavy else ("light", "heavy")
+            for pool in pools:
+                if pool == "heavy" and name in heavy_ok:
+                    heavy[name] = heavy.get(name, 0) + spare
+                    break
+                if pool == "light" and name in light_ok:
+                    light[name] = light.get(name, 0) + spare
+                    break
+        plan.light_assignment = {k: v for k, v in light.items() if v}
+        plan.heavy_assignment = {k: v for k, v in heavy.items() if v}
+        plan.num_light = sum(plan.light_assignment.values())
+        plan.num_heavy = sum(plan.heavy_assignment.values())
         return plan
 
     @staticmethod
@@ -422,13 +782,20 @@ class DiffServeAllocator:
 
     def _best_effort_plan(self, ctx: ControlContext, elapsed: float) -> AllocationPlan:
         """Overload fallback: serve everything with the light model, largest
-        batch that fits the SLO, and accept every image (threshold 0)."""
+        batch that fits the SLO on every hosting class, and accept every image
+        (threshold 0).  Classes whose memory cannot hold the light model stay
+        idle (plan() guarantees at least one class can host it)."""
+        fleet = ctx.fleet
+        hostable = [d for d in fleet.classes if d.can_host(self.light)]
         feasible_batches = [
-            b for b in self.batch_candidates if self._light_execution(b) <= ctx.slo
+            b
+            for b in self.batch_candidates
+            if max(self._light_execution(b, d) for d in hostable) <= ctx.slo
         ]
         batch = max(feasible_batches) if feasible_batches else max(self.batch_candidates)
+        assignment = {d.name: fleet.count_for(d.name) for d in hostable}
         return AllocationPlan(
-            num_light=ctx.num_workers,
+            num_light=sum(assignment.values()),
             num_heavy=0,
             light_batch=batch,
             heavy_batch=1,
@@ -437,6 +804,8 @@ class DiffServeAllocator:
             feasible=False,
             objective=None,
             solver_time_s=elapsed,
+            light_assignment=assignment,
+            heavy_assignment={},
         )
 
     # ------------------------------------------------------------ statistics

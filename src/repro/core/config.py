@@ -1,10 +1,23 @@
-"""System configuration."""
+"""System configuration: device classes, fleets, and cluster-level knobs.
+
+The hardware model is a typed **fleet**: a :class:`FleetSpec` names how many
+devices of each :class:`DeviceClass` the cluster has.  Every layer above —
+latency profiles, the MILP allocator, the Controller, the runner's cache keys
+— indexes by device class, so mixed A100/H100/L4 clusters are first-class.
+Homogeneous configurations remain the default: ``num_workers=N`` is a
+deprecated alias for a fleet of ``N`` devices of the baseline class.
+
+Fleet validation lives in exactly one place — :meth:`FleetSpec.__post_init__`
+(reached from every constructor, including :func:`fleet_from_counts`) — and
+fails with one-line errors naming the offending device class, mirroring the
+CLI's ``--workload-params`` error style.
+"""
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.models.zoo import CascadeSpec
 
@@ -24,6 +37,189 @@ class RoutingMode(enum.Enum):
     RANDOM_SPLIT = "random_split"
 
 
+# --------------------------------------------------------------------------
+# Device classes
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """One accelerator type a fleet can be built from.
+
+    Attributes
+    ----------
+    name:
+        Catalog key (``"a100"``, ``"h100"``, ``"l4"``, ...).
+    speed_factor:
+        Execution-latency multiplier relative to the A100-80GB baseline the
+        model zoo is profiled on (lower is faster; H100 < 1 < L4).
+    memory_gb:
+        Device memory; a model variant can only be hosted when its
+        ``memory_gb`` fits.
+    reload_factor:
+        Multiplier on the configured model-reload latency (slow devices also
+        reload models more slowly).
+    cost_per_hour:
+        Relative cost in A100-hours, used by the equal-cost fleet studies.
+    """
+
+    name: str
+    speed_factor: float = 1.0
+    memory_gb: float = 80.0
+    reload_factor: float = 1.0
+    cost_per_hour: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("device class name must be non-empty")
+        if self.speed_factor <= 0:
+            raise ValueError(f"device class {self.name!r}: speed_factor must be positive")
+        if self.memory_gb <= 0:
+            raise ValueError(f"device class {self.name!r}: memory_gb must be positive")
+        if self.reload_factor < 0:
+            raise ValueError(f"device class {self.name!r}: reload_factor must be non-negative")
+        if self.cost_per_hour <= 0:
+            raise ValueError(f"device class {self.name!r}: cost_per_hour must be positive")
+
+    def can_host(self, variant) -> bool:
+        """Whether ``variant`` (any object with ``memory_gb``) fits in memory."""
+        return float(variant.memory_gb) <= self.memory_gb + 1e-9
+
+
+#: Built-in device-class catalog.  Speed factors are per-image execution
+#: multipliers vs. the A100-80GB the zoo's profiles were measured on; costs
+#: are relative on-demand prices in A100-hours.
+DEVICE_CLASSES: Dict[str, DeviceClass] = {
+    "a100": DeviceClass("a100", speed_factor=1.0, memory_gb=80.0, reload_factor=1.0,
+                        cost_per_hour=1.0),
+    "h100": DeviceClass("h100", speed_factor=0.55, memory_gb=80.0, reload_factor=0.8,
+                        cost_per_hour=1.8),
+    "a10g": DeviceClass("a10g", speed_factor=1.8, memory_gb=24.0, reload_factor=1.4,
+                        cost_per_hour=0.45),
+    "l4": DeviceClass("l4", speed_factor=2.4, memory_gb=24.0, reload_factor=1.6,
+                      cost_per_hour=0.3),
+    "t4": DeviceClass("t4", speed_factor=3.6, memory_gb=16.0, reload_factor=2.0,
+                      cost_per_hour=0.15),
+}
+
+#: The class homogeneous (``num_workers=N``) configurations expand to.
+DEFAULT_DEVICE_CLASS = DEVICE_CLASSES["a100"]
+
+
+def get_device_class(name: str) -> DeviceClass:
+    """Look up a device class by catalog name (one-line error on miss)."""
+    try:
+        return DEVICE_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_CLASSES))
+        raise KeyError(f"unknown device class {name!r}; known classes: {known}") from None
+
+
+# --------------------------------------------------------------------------
+# Fleets
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A typed cluster: how many devices of each class are available.
+
+    ``devices`` is kept in canonical (name-sorted) order so equal fleets
+    compare, hash, and serialise identically — worker construction, plan
+    application, and cache keys all iterate it in this one order.
+
+    This class is the *single* fleet validation site: :class:`SystemConfig`,
+    :class:`~repro.core.allocator.ControlContext`, the CLI's ``--fleet``
+    parser and the runner's grid specs all construct a ``FleetSpec`` and rely
+    on the checks here.
+    """
+
+    devices: Tuple[Tuple[DeviceClass, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("fleet must contain at least one device class")
+        seen = set()
+        for device, count in self.devices:
+            if not isinstance(device, DeviceClass):
+                raise ValueError(f"fleet entry {device!r} is not a DeviceClass")
+            if device.name in seen:
+                raise ValueError(f"fleet class {device.name!r}: listed more than once")
+            seen.add(device.name)
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise ValueError(
+                    f"fleet class {device.name!r}: count must be an integer, got {count!r}"
+                )
+            if count < 1:
+                raise ValueError(f"fleet class {device.name!r}: count must be >= 1, got {count}")
+        object.__setattr__(
+            self, "devices", tuple(sorted(self.devices, key=lambda dc: dc[0].name))
+        )
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def homogeneous(cls, count: int, device: DeviceClass = DEFAULT_DEVICE_CLASS) -> "FleetSpec":
+        """A single-class fleet of ``count`` devices (the pre-fleet model)."""
+        return cls(devices=((device, count),))
+
+    # -------------------------------------------------------------- properties
+    @property
+    def classes(self) -> Tuple[DeviceClass, ...]:
+        """Device classes present, in canonical order."""
+        return tuple(device for device, _ in self.devices)
+
+    @property
+    def total_workers(self) -> int:
+        """Total devices across all classes."""
+        return sum(count for _, count in self.devices)
+
+    @property
+    def total_cost(self) -> float:
+        """Aggregate fleet cost in A100-hours per hour."""
+        return sum(device.cost_per_hour * count for device, count in self.devices)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether the fleet has exactly one device class."""
+        return len(self.devices) == 1
+
+    def count_for(self, name: str) -> int:
+        """Devices of class ``name`` (0 when absent)."""
+        for device, count in self.devices:
+            if device.name == name:
+                return count
+        return 0
+
+    def as_counts(self) -> Dict[str, int]:
+        """``{class name: count}`` in canonical order."""
+        return {device.name: count for device, count in self.devices}
+
+    def token(self) -> str:
+        """Canonical, process-independent string form (cache keys, labels)."""
+        return ",".join(f"{device.name}:{count}" for device, count in self.devices)
+
+    def __str__(self) -> str:
+        return self.token()
+
+
+def fleet_from_counts(counts: Mapping[str, int]) -> FleetSpec:
+    """Build a fleet from ``{class name: count}`` via the built-in catalog.
+
+    Unknown class names and bad counts fail with a one-line error naming the
+    offending key (the validation itself lives in :class:`FleetSpec`).
+    """
+    if not counts:
+        raise ValueError("fleet must contain at least one device class")
+    return FleetSpec(
+        devices=tuple((get_device_class(name), count) for name, count in counts.items())
+    )
+
+
+# --------------------------------------------------------------------------
+# System configuration
+# --------------------------------------------------------------------------
+
+
 @dataclass
 class SystemConfig:
     """Cluster- and experiment-level configuration.
@@ -33,7 +229,9 @@ class SystemConfig:
     cascade:
         The light/heavy diffusion model pair being served.
     num_workers:
-        Number of GPU workers (the paper's testbed has 16).
+        Deprecated alias for a homogeneous fleet of baseline-class devices
+        (the paper's testbed has 16 A100s).  After construction this always
+        equals ``fleet.total_workers``.
     slo:
         Latency SLO in seconds (defaults to the cascade's paper SLO).
     routing:
@@ -47,11 +245,16 @@ class SystemConfig:
         Whether workers preemptively drop queries predicted to miss their
         deadline.
     worker_reload_latency:
-        Time to load a different model variant onto a worker (seconds).
+        Time to load a different model variant onto a baseline-class worker
+        (seconds); each device class scales it by its ``reload_factor``.
     monitoring_window:
         Length of the statistics window the Controller aggregates over.
     seed:
         Root random seed for the simulation.
+    fleet:
+        The typed device fleet.  ``None`` expands ``num_workers`` into a
+        homogeneous baseline-class fleet; when given, it wins and
+        ``num_workers`` is overwritten with its total.
     """
 
     cascade: CascadeSpec
@@ -64,10 +267,13 @@ class SystemConfig:
     worker_reload_latency: float = 0.5
     monitoring_window: float = 20.0
     seed: int = 0
+    fleet: Optional[FleetSpec] = field(default=None)
 
     def __post_init__(self) -> None:
-        if self.num_workers < 1:
-            raise ValueError("num_workers must be >= 1")
+        # Fleet validation (including worker counts) lives in FleetSpec.
+        if self.fleet is None:
+            self.fleet = FleetSpec.homogeneous(self.num_workers)
+        self.num_workers = self.fleet.total_workers
         if self.slo is None:
             self.slo = self.cascade.slo
         if self.slo <= 0:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.allocator import AllocationPlan, ControlContext
-from repro.core.config import RoutingMode, SystemConfig
+from repro.core.config import FleetSpec, RoutingMode, SystemConfig
 from repro.core.demand import DemandEstimator
 from repro.core.load_balancer import LoadBalancer
 from repro.core.policies import AllocationPolicy
@@ -51,6 +51,17 @@ class Controller(Actor):
         self.current_plan: Optional[AllocationPlan] = None
         self.history: List[ControlSnapshot] = []
         self.solve_times: List[float] = []
+        #: The fleet plans are currently solved against.  Starts as the
+        #: configured fleet; :meth:`set_fleet` shrinks it online (device-class
+        #: failures / capacity reclaims), after which workers beyond a class's
+        #: count receive no assignment and drain idle.
+        self.active_fleet: FleetSpec = config.fleet
+        # Workers grouped by device class, in fleet (canonical) order — the
+        # one ordering plan application, worker construction and cache tokens
+        # all share.
+        self._workers_by_class: dict = {}
+        for worker in workers:
+            self._workers_by_class.setdefault(worker.device_name, []).append(worker)
         #: Attached by :class:`~repro.core.replanner.ReplanController`; when
         #: present, the epoch loop of the re-planner replaces the fixed-period
         #: control loop below (the Controller still applies plan zero and
@@ -96,6 +107,24 @@ class Controller(Actor):
         self._apply_plan(plan)
         return plan
 
+    def set_fleet(self, fleet: FleetSpec) -> None:
+        """Shrink/replace the fleet plans are solved against (online failures).
+
+        The simulation's workers are fixed; a smaller active fleet simply
+        stops assigning work to the lost devices (they drain and idle).  The
+        next re-plan sees the new shape, and a warm start from the old shape
+        is repaired — not rejected — by the allocator (see
+        :meth:`~repro.core.allocator.DiffServeAllocator._warm_assignment`).
+        """
+        for device, count in fleet.devices:
+            present = len(self._workers_by_class.get(device.name, []))
+            if count > present:
+                raise ValueError(
+                    f"fleet class {device.name!r}: count {count} exceeds the "
+                    f"{present} workers built for it"
+                )
+        self.active_fleet = fleet
+
     def policy_deferral_update(self, threshold: float, observed_fraction: float) -> None:
         """Blend the observed deferral rate into the policy's deferral profile."""
         allocator = getattr(self.policy, "allocator", None)
@@ -111,7 +140,7 @@ class Controller(Actor):
         return ControlContext(
             demand=self.demand_estimator.estimate,
             slo=self.config.slo,
-            num_workers=self.config.num_workers,
+            fleet=self.active_fleet,
             light_queue_length=light_queue,
             heavy_queue_length=heavy_queue,
             observed_deferral=observed_deferral,
@@ -121,6 +150,33 @@ class Controller(Actor):
         )
 
     # -------------------------------------------------------------- applying
+    def _select_pools(self, plan: AllocationPlan):
+        """Map a plan's worker counts onto concrete workers.
+
+        Typed plans (with per-class assignments) pick workers class by class
+        in fleet order; class-agnostic plans keep the legacy behaviour of
+        slicing the flat worker list — which is identical for homogeneous
+        fleets, since workers are constructed grouped per class in the same
+        canonical order.
+        """
+        if plan.light_assignment is None and plan.heavy_assignment is None:
+            num_light = min(plan.num_light, len(self.workers))
+            return (
+                self.workers[:num_light],
+                self.workers[num_light : num_light + plan.num_heavy],
+            )
+        light_pool = []
+        heavy_pool = []
+        light_assignment = plan.light_assignment or {}
+        heavy_assignment = plan.heavy_assignment or {}
+        for device, _count in self.active_fleet.devices:
+            group = self._workers_by_class.get(device.name, [])
+            n_light = min(light_assignment.get(device.name, 0), len(group))
+            n_heavy = min(heavy_assignment.get(device.name, 0), len(group) - n_light)
+            light_pool.extend(group[:n_light])
+            heavy_pool.extend(group[n_light : n_light + n_heavy])
+        return light_pool, heavy_pool
+
     def _apply_plan(self, plan: AllocationPlan) -> None:
         self.current_plan = plan
         self.solve_times.append(plan.solver_time_s)
@@ -139,9 +195,7 @@ class Controller(Actor):
             heavy_variant = self.config.cascade.heavy
         use_discriminator = self.config.routing == RoutingMode.CASCADE
 
-        num_light = min(plan.num_light, len(self.workers))
-        light_pool = self.workers[:num_light]
-        heavy_pool = self.workers[num_light : num_light + plan.num_heavy]
+        light_pool, heavy_pool = self._select_pools(plan)
 
         for worker in light_pool:
             worker.set_variant(
@@ -155,8 +209,12 @@ class Controller(Actor):
         self.load_balancer.set_pools(light_pool, heavy_pool)
         self.load_balancer.set_threshold(plan.threshold)
         self.load_balancer.set_heavy_fraction(plan.heavy_fraction)
-        self.load_balancer.heavy_latency_estimate = heavy_variant.execution_latency(
-            plan.heavy_batch
+        # Deferral decisions budget for the slowest device class actually in
+        # the heavy pool (equals the variant's baseline latency when the pool
+        # is homogeneous baseline-class).
+        self.load_balancer.heavy_latency_estimate = max(
+            (w.latency_profile.latency(plan.heavy_batch) for w in heavy_pool),
+            default=heavy_variant.execution_latency(plan.heavy_batch),
         )
         self.load_balancer.heavy_batch_estimate = plan.heavy_batch
 

@@ -26,6 +26,13 @@ Three re-plan policies are supported:
 Every decision input is a deterministic function of simulation state, so
 runs with re-planning enabled stay byte-identical across processes (the
 serial-vs-parallel determinism guarantee extends to the control plane).
+
+Epochs plan against the Controller's *active fleet*: when
+:meth:`~repro.core.controller.Controller.set_fleet` shrinks it mid-run (a
+device-class failure scenario), the next epoch's warm start still references
+the old shape — the allocator repairs it onto the surviving classes instead
+of rejecting or crashing, and the snapshot records the fleet token the epoch
+planned against.
 """
 
 from __future__ import annotations
@@ -100,6 +107,10 @@ class EpochSnapshot:
     #: merely when a previous plan was offered.
     warm_started: bool
     solver_time_s: float
+    #: Canonical token of the fleet the epoch planned against (changes when
+    #: the Controller's active fleet is shrunk mid-run, e.g. a device-class
+    #: failure scenario).
+    fleet: str = ""
 
 
 class ReplanController(Actor):
@@ -222,6 +233,7 @@ class ReplanController(Actor):
                 replanned=replanned,
                 warm_started=warm_started,
                 solver_time_s=solver_time_s,
+                fleet=controller.active_fleet.token(),
             )
         )
         self.sim.schedule(config.epoch, self._epoch_tick, name="replan-epoch")

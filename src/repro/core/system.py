@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Union
 
 
-from repro.core.config import RoutingMode, SystemConfig
+from repro.core.config import FleetSpec, RoutingMode, SystemConfig
 from repro.core.controller import Controller
 from repro.core.load_balancer import LoadBalancer
 from repro.core.policies import AllocationPolicy, make_diffserve_policy
@@ -145,20 +145,26 @@ class ServingSimulation:
             on_drop=collector.drop,
         )
 
-        workers = [
-            Worker(
-                sim,
-                worker_id=i,
-                variant=self.config.cascade.light,
-                generator=generator,
-                discriminator=self.discriminator
-                if self.config.routing == RoutingMode.CASCADE
-                else None,
-                drop_late=self.config.drop_late_queries,
-                reload_latency=self.config.worker_reload_latency,
-            )
-            for i in range(self.config.num_workers)
-        ]
+        # One worker per fleet device, constructed grouped per device class in
+        # the fleet's canonical order (the same order the Controller maps plan
+        # assignments back onto workers).
+        workers = []
+        for device, count in self.config.fleet.devices:
+            for _ in range(count):
+                workers.append(
+                    Worker(
+                        sim,
+                        worker_id=len(workers),
+                        variant=self.config.cascade.light,
+                        generator=generator,
+                        discriminator=self.discriminator
+                        if self.config.routing == RoutingMode.CASCADE
+                        else None,
+                        drop_late=self.config.drop_late_queries,
+                        reload_latency=self.config.worker_reload_latency,
+                        device=device,
+                    )
+                )
 
         repository = ModelRepository()
         for variant in MODEL_ZOO.values():
@@ -220,6 +226,7 @@ def build_diffserve_system(
     cascade_name: str = "sdturbo",
     *,
     num_workers: int = 16,
+    fleet: Optional["FleetSpec"] = None,
     slo: Optional[float] = None,
     dataset: Optional[QueryDataset] = None,
     discriminator: Optional[Discriminator] = None,
@@ -240,6 +247,10 @@ def build_diffserve_system(
     the deferral function, and assembles the full system.  Pass
     ``policy_variant`` to select one of the Section 4.5 ablations
     (``"static-threshold"``, ``"aimd"``, ``"no-queueing"``).
+
+    ``fleet`` selects a typed (possibly heterogeneous) device fleet; it wins
+    over the deprecated ``num_workers`` alias, which keeps meaning a
+    homogeneous baseline-class cluster.
 
     ``replan_epoch`` / ``replan_policy`` enable the online re-planning control
     plane: the epoch defaults to ``control_period`` and the policy to
@@ -265,6 +276,7 @@ def build_diffserve_system(
     config = SystemConfig(
         cascade=cascade,
         num_workers=num_workers,
+        fleet=fleet,
         slo=slo,
         routing=RoutingMode.CASCADE,
         control_period=control_period,

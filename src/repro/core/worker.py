@@ -13,11 +13,13 @@ from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional
 
 
+from repro.core.config import DeviceClass
 from repro.core.query import Query
 from repro.discriminators.base import Discriminator
 from repro.models.generation import GeneratedImage, ImageGenerator
 from repro.models.profiles import ProfiledTable
 from repro.models.variants import ModelVariant
+from repro.models.zoo import variant_profile
 from repro.simulator.simulation import Actor, Simulator
 
 
@@ -75,6 +77,7 @@ class Worker(Actor):
         discriminator: Optional[Discriminator] = None,
         drop_late: bool = True,
         reload_latency: float = 0.5,
+        device: Optional[DeviceClass] = None,
         on_complete: Optional[Callable[[WorkItem, GeneratedImage, Optional[float]], None]] = None,
         on_drop: Optional[Callable[[WorkItem], None]] = None,
     ) -> None:
@@ -85,7 +88,11 @@ class Worker(Actor):
         self.batch_size = batch_size
         self.discriminator = discriminator
         self.drop_late = drop_late
-        self.reload_latency = reload_latency
+        #: The device class this worker's GPU belongs to (``None`` = the
+        #: baseline class the zoo profiles were measured on).  Execution
+        #: latency and model reloads scale with the class.
+        self.device = device
+        self.reload_latency = reload_latency * (device.reload_factor if device else 1.0)
         self.on_complete = on_complete
         self.on_drop = on_drop
 
@@ -93,7 +100,8 @@ class Worker(Actor):
         self.busy = False
         self._dispatching = False
         self.stats = WorkerStats()
-        self.profiled = ProfiledTable(profile=variant.latency)
+        self.latency_profile = variant_profile(variant, device)
+        self.profiled = ProfiledTable(profile=self.latency_profile)
         self._rng = sim.rng.spawn("worker-latency", worker_id)
 
     # ------------------------------------------------------------ properties
@@ -106,6 +114,13 @@ class Worker(Actor):
     def stage(self) -> str:
         """Cascade stage of this worker ("light" if it runs a discriminator)."""
         return "light" if self.discriminator is not None else "heavy"
+
+    @property
+    def device_name(self) -> str:
+        """Device-class name of this worker's GPU (baseline when untyped)."""
+        from repro.core.config import DEFAULT_DEVICE_CLASS
+
+        return self.device.name if self.device is not None else DEFAULT_DEVICE_CLASS.name
 
     # ----------------------------------------------------------- control path
     def set_batch_size(self, batch_size: int) -> None:
@@ -122,7 +137,8 @@ class Worker(Actor):
         self.variant = variant
         self.discriminator = discriminator
         if changed:
-            self.profiled = ProfiledTable(profile=variant.latency)
+            self.latency_profile = variant_profile(variant, self.device)
+            self.profiled = ProfiledTable(profile=self.latency_profile)
             if self.reload_latency > 0:
                 # Block the worker for the model reload.
                 self.busy = True
@@ -177,7 +193,7 @@ class Worker(Actor):
             self.busy = True
         finally:
             self._dispatching = False
-        latency = self.variant.latency.sample_latency(len(batch), self._rng)
+        latency = self.latency_profile.sample_latency(len(batch), self._rng)
         if self.discriminator is not None:
             latency += self.discriminator.latency_s * len(batch)
         self.sim.schedule(

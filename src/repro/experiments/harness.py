@@ -140,6 +140,7 @@ def build_comparison_systems(
     static_threshold: float = 0.5,
     replan_epoch: Optional[float] = None,
     replan_policy: Optional[str] = None,
+    fleet=None,
 ) -> Dict[str, ServingSimulation]:
     """Instantiate the requested systems with shared dataset/discriminator.
 
@@ -148,55 +149,58 @@ def build_comparison_systems(
     select the Section 4.5 DiffServe allocation ablations;
     ``replan_epoch``/``replan_policy`` attach the online re-planning control
     plane to the DiffServe system (see
-    :class:`~repro.core.replanner.ReplanConfig`).
+    :class:`~repro.core.replanner.ReplanConfig`).  ``fleet`` (a
+    :class:`~repro.core.config.FleetSpec`) replaces the homogeneous
+    ``scale.num_workers`` cluster for every system in the cell, so all
+    systems compete on identical hardware.
     """
     if dataset is None or discriminator is None:
         _, dataset, discriminator = shared_components(cascade_name, scale)
     over = {} if over_provision is None else {"over_provision": over_provision}
+    cluster = {"num_workers": scale.num_workers, "fleet": fleet}
     built: Dict[str, ServingSimulation] = {}
     for name in systems:
         if name == "clipper-light":
             built[name] = build_clipper_system(
                 cascade_name,
                 "light",
-                num_workers=scale.num_workers,
                 slo=slo,
                 dataset=dataset,
                 seed=scale.seed,
+                **cluster,
             )
         elif name == "clipper-heavy":
             built[name] = build_clipper_system(
                 cascade_name,
                 "heavy",
-                num_workers=scale.num_workers,
                 slo=slo,
                 dataset=dataset,
                 seed=scale.seed,
+                **cluster,
             )
         elif name == "proteus":
             built[name] = build_proteus_system(
                 cascade_name,
-                num_workers=scale.num_workers,
                 slo=slo,
                 dataset=dataset,
                 seed=scale.seed,
+                **cluster,
                 **over,
             )
         elif name == "diffserve-static":
             built[name] = build_diffserve_static_system(
                 cascade_name,
                 anticipated_peak_qps=anticipated_peak_qps,
-                num_workers=scale.num_workers,
                 slo=slo,
                 dataset=dataset,
                 discriminator=discriminator,
                 seed=scale.seed,
+                **cluster,
                 **over,
             )
         elif name == "diffserve":
             built[name] = build_diffserve_system(
                 cascade_name,
-                num_workers=scale.num_workers,
                 slo=slo,
                 dataset=dataset,
                 discriminator=discriminator,
@@ -205,6 +209,7 @@ def build_comparison_systems(
                 static_threshold=static_threshold,
                 replan_epoch=replan_epoch,
                 replan_policy=replan_policy,
+                **cluster,
                 **over,
             )
         else:

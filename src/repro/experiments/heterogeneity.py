@@ -1,0 +1,247 @@
+"""Heterogeneity study: homogeneous vs. mixed fleets at equal aggregate cost.
+
+Production clusters are rarely uniform — they mix fast/expensive accelerators
+(H100) with slow/cheap ones (L4) under one budget.  This study holds the
+*aggregate fleet cost* fixed (in A100-hours, the catalog's unit) and asks
+whether a heterogeneity-aware DiffServe — the per-device-class MILP of
+:mod:`repro.core.allocator` — can turn a mixed fleet into a better
+FID/SLO-violation trade-off than the all-A100 reference: cheap slow devices
+absorb the lightweight model's bulk traffic while the fast tier keeps the
+heavyweight model's latency inside the SLO.
+
+Every (workload, fleet) arm is one grid cell of the parallel runner: the
+DiffServe system runs the identical sampled trace on each fleet, summaries
+are content-addressed in the artifact cache, and cells compute byte-identical
+results serial or process-pooled (``repro fleet`` inherits the runner's
+determinism guarantee).  Reported per workload: each fleet's FID, SLO
+violation ratio and p99 latency, plus the Pareto front over
+(violation ratio, FID) — both minimised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import FleetSpec, fleet_from_counts
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
+from repro.metrics.pareto import ParetoPoint, pareto_frontier
+
+#: Candidate fleets at (approximately) equal aggregate cost.  The first entry
+#: is the homogeneous reference every mixed fleet is compared against; costs
+#: must stay within :data:`COST_TOLERANCE` of it.
+DEFAULT_FLEETS: Tuple[Tuple[str, Dict[str, int]], ...] = (
+    ("a100x16", {"a100": 16}),              # 16.0 A100-h: the paper's testbed
+    ("h100+l4", {"h100": 7, "l4": 11}),     # 15.9 A100-h: fast tier + cheap bulk
+    ("a100+l4", {"a100": 10, "l4": 20}),    # 16.0 A100-h: mid tier + cheap bulk
+)
+
+#: Relative cost slack allowed between the reference and any candidate fleet.
+COST_TOLERANCE = 0.07
+
+#: Workload scenarios whose load shape stresses provisioning differently.
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("mmpp", "diurnal")
+
+
+@dataclass
+class FleetArm:
+    """Outcome of one (workload, fleet) arm."""
+
+    fleet_name: str
+    counts: Dict[str, int]
+    cost: float
+    workers: int
+    summary: Dict[str, float]
+
+    @property
+    def violation(self) -> float:
+        """SLO violation ratio of the arm."""
+        return self.summary["slo_violation_ratio"]
+
+    @property
+    def fid(self) -> float:
+        """FID of the arm."""
+        return self.summary["fid"]
+
+
+@dataclass
+class HeterogeneityResult:
+    """All arms, keyed by workload kind then fleet name."""
+
+    reference: str
+    qps: float
+    arms: Dict[str, Dict[str, FleetArm]] = field(default_factory=dict)
+
+    def arm(self, workload: str, fleet_name: str) -> FleetArm:
+        """The arm for one (workload, fleet) pair."""
+        return self.arms[workload][fleet_name]
+
+    def pareto_front(self, workload: str) -> List[str]:
+        """Fleet names on the (violation ratio, FID) front — both minimised."""
+        points = [
+            ParetoPoint(arm.violation, arm.fid, payload=name)
+            for name, arm in self.arms[workload].items()
+        ]
+        return [p.payload for p in pareto_frontier(points)]
+
+    def dominating_mixed_fleets(self, workload: str, tol: float = 1e-9) -> List[str]:
+        """Mixed fleets matching or Pareto-dominating the reference.
+
+        A mixed fleet qualifies when it is at least as good as the
+        homogeneous reference on *both* objectives (within ``tol``) — i.e. it
+        matches or dominates at equal aggregate cost.
+        """
+        ref = self.arms[workload][self.reference]
+        return [
+            name
+            for name, arm in self.arms[workload].items()
+            if name != self.reference
+            and arm.violation <= ref.violation + tol
+            and arm.fid <= ref.fid + tol
+        ]
+
+
+def resolve_fleets(
+    fleets: Sequence[Tuple[str, Mapping[str, int]]]
+) -> List[Tuple[str, FleetSpec]]:
+    """Resolve and equal-cost-check the candidate fleets.
+
+    The first fleet is the reference; any candidate whose aggregate cost
+    drifts beyond :data:`COST_TOLERANCE` of it fails with a one-line error
+    naming the fleet (an unequal-cost comparison would be meaningless).
+    """
+    resolved = [(name, fleet_from_counts(dict(counts))) for name, counts in fleets]
+    if not resolved:
+        raise ValueError("the fleet study needs at least one fleet")
+    ref_name, ref_fleet = resolved[0]
+    for name, fleet in resolved[1:]:
+        drift = abs(fleet.total_cost - ref_fleet.total_cost) / ref_fleet.total_cost
+        if drift > COST_TOLERANCE:
+            raise ValueError(
+                f"fleet {name!r}: cost {fleet.total_cost:.1f} is {drift:.0%} from the "
+                f"reference {ref_name!r} ({ref_fleet.total_cost:.1f}); "
+                f"equal-cost comparison requires <= {COST_TOLERANCE:.0%}"
+            )
+    return resolved
+
+
+def run_heterogeneity(
+    cascade_name: str = "sdturbo",
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    fleets: Sequence[Tuple[str, Mapping[str, int]]] = DEFAULT_FLEETS,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    qps: Optional[float] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> HeterogeneityResult:
+    """Sweep fleets x workloads through the cached parallel grid runner.
+
+    Every fleet serves the *identical* sampled arrival trace per workload
+    (the trace is a function of the workload spec and seed, not the fleet),
+    at a nominal rate chosen to stress the reference fleet — heterogeneity
+    only pays off when capacity actually binds.
+    """
+    from repro.runner.executor import run_grid
+    from repro.runner.spec import ExperimentGrid, ExperimentSpec, TraceSpec
+    from repro.workloads import cascade_qps_range
+
+    resolved = resolve_fleets(fleets)
+    if qps is None:
+        # Nominal rate near the top of the cascade's default range for a
+        # cluster the size of the reference fleet: high enough that the
+        # allocator must trade threshold for throughput.
+        lo, hi = cascade_qps_range(cascade_name, resolved[0][1].total_workers)
+        qps = 0.75 * hi
+    specs = [
+        ExperimentSpec(
+            cascade=cascade_name,
+            scale=scale,
+            systems=("diffserve",),
+            trace=TraceSpec(kind=kind, qps=qps),
+            fleet=tuple(sorted(fleet.as_counts().items())),
+        )
+        for kind in workloads
+        for _, fleet in resolved
+    ]
+    report = run_grid(ExperimentGrid.of(specs), jobs=jobs, use_cache=use_cache)
+    failed = [cell for cell in report.cells if not cell.ok]
+    if failed:
+        details = "; ".join(f"{cell.spec.label}: {cell.status}" for cell in failed)
+        raise RuntimeError(f"fleet study cells failed: {details}")
+
+    result = HeterogeneityResult(reference=resolved[0][0], qps=float(qps))
+    cell_iter = iter(report.cells)
+    for kind in workloads:
+        result.arms[kind] = {}
+        for name, fleet in resolved:
+            cell = next(cell_iter)
+            result.arms[kind][name] = FleetArm(
+                fleet_name=name,
+                counts=fleet.as_counts(),
+                cost=fleet.total_cost,
+                workers=fleet.total_workers,
+                summary=dict(cell.summaries["diffserve"]),
+            )
+    return result
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run the heterogeneity study and print the per-arm table."""
+    result = run_heterogeneity(scale=scale)
+    rows: List[list] = []
+    for kind, arms in result.arms.items():
+        front = set(result.pareto_front(kind))
+        for name, arm in arms.items():
+            rows.append(
+                [
+                    kind,
+                    name,
+                    "+".join(f"{cls}x{count}" for cls, count in arm.counts.items()),
+                    arm.cost,
+                    arm.workers,
+                    arm.fid,
+                    arm.violation,
+                    arm.summary["p99_latency"],
+                    "yes" if name in front else "",
+                ]
+            )
+    verdicts = []
+    for kind in result.arms:
+        winners = result.dominating_mixed_fleets(kind)
+        if winners:
+            verdicts.append(
+                f"{kind}: mixed fleet(s) {', '.join(winners)} match or Pareto-dominate "
+                f"{result.reference} at equal aggregate cost"
+            )
+        else:
+            verdicts.append(
+                f"{kind}: no mixed fleet dominates {result.reference}; "
+                f"front = {', '.join(result.pareto_front(kind))}"
+            )
+    output = "\n".join(
+        [
+            f"Heterogeneous fleets at equal cost — DiffServe @ {result.qps:g} qps nominal",
+            format_table(
+                [
+                    "workload",
+                    "fleet",
+                    "devices",
+                    "cost",
+                    "workers",
+                    "FID",
+                    "SLO viol",
+                    "p99 (s)",
+                    "front",
+                ],
+                rows,
+            ),
+            *verdicts,
+        ]
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

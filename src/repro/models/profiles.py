@@ -102,6 +102,29 @@ class LatencyProfile:
         feasible = [b for b in self.batch_sizes if self.latency(b) <= deadline]
         return max(feasible) if feasible else None
 
+    # ---------------------------------------------------------- device classes
+    def scaled(self, speed_factor: float) -> "LatencyProfile":
+        """This variant's profile on a device ``speed_factor``x the baseline.
+
+        Profiles are measured on one baseline device class (A100-80GB for the
+        built-in zoo); the profile on another class scales both the per-image
+        time and the fixed overhead, while the batching behaviour and the
+        relative jitter — properties of the model, not the device — carry
+        over unchanged.  ``speed_factor == 1`` returns ``self`` so the
+        homogeneous default shares the exact profile object.
+        """
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        if speed_factor == 1.0:
+            return self
+        return LatencyProfile(
+            per_image=self.per_image * speed_factor,
+            fixed_overhead=self.fixed_overhead * speed_factor,
+            batching_gain=self.batching_gain,
+            jitter=self.jitter,
+            batch_sizes=self.batch_sizes,
+        )
+
 
 @dataclass
 class ProfiledTable:

@@ -16,10 +16,14 @@ MS-COCO-like data; 20-40% of queries easy).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import lru_cache
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.models.profiles import LatencyProfile
 from repro.models.variants import ModelVariant, QualityModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.config import DeviceClass
 
 # --------------------------------------------------------------------------
 # Variant registry
@@ -203,6 +207,33 @@ def get_variant(name: str) -> ModelVariant:
     except KeyError:
         known = ", ".join(sorted(MODEL_ZOO))
         raise KeyError(f"unknown model variant {name!r}; known variants: {known}") from None
+
+
+# --------------------------------------------------------------------------
+# Per-(variant, device-class) latency profiles
+# --------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _scaled_profile(profile: LatencyProfile, speed_factor: float) -> LatencyProfile:
+    return profile.scaled(speed_factor)
+
+
+def variant_profile(
+    variant: ModelVariant, device: Optional["DeviceClass"] = None
+) -> LatencyProfile:
+    """The latency profile of ``variant`` on one device class.
+
+    The zoo's registered profiles are the A100-80GB numbers from Section 4.1;
+    every other device class scales them by its ``speed_factor`` (memoized, so
+    the simulator and the allocator share one profile object per pair).
+    ``device`` is duck-typed on ``speed_factor`` to keep :mod:`repro.models`
+    import-independent of :mod:`repro.core`; ``None`` means the baseline
+    class.
+    """
+    if device is None:
+        return variant.latency
+    return _scaled_profile(variant.latency, float(device.speed_factor))
 
 
 # --------------------------------------------------------------------------

@@ -145,6 +145,7 @@ def run_cell_results(
         dataset=dataset,
         discriminator=discriminator,
         systems=spec.systems,
+        fleet=spec.resolve_fleet(),
         **spec.params_dict(),
     )
     results = {name: system.run(trace) for name, system in systems.items()}

@@ -26,7 +26,10 @@ from repro.experiments.harness import ExperimentScale
 #: v4: adaptive control plane — replan_epoch / replan_policy became grid
 #: dimensions and the warm-started re-planning solver changed DiffServe's
 #: control dynamics.
-CACHE_SCHEMA_VERSION = 4
+#: v5: heterogeneous device fleets — ``fleet`` became a grid dimension, the
+#: MILP indexes worker variables by device class, and workers execute on
+#: per-(variant, device-class) latency profiles.
+CACHE_SCHEMA_VERSION = 5
 
 #: The standard five-system comparison run by most figures.
 DEFAULT_SYSTEMS: Tuple[str, ...] = (
@@ -178,6 +181,11 @@ class ExperimentSpec:
     params:
         Sorted ``(key, value)`` pairs forwarded to the system builders
         (see :data:`ALLOWED_PARAMS`).  Kept as a tuple so specs stay hashable.
+    fleet:
+        Typed device fleet as sorted ``(class name, count)`` pairs resolved
+        against the built-in catalog (``None`` keeps the homogeneous
+        ``scale.num_workers`` cluster).  A real grid dimension: it enters the
+        canonical token, so cells with different fleets hash differently.
     """
 
     cascade: str
@@ -186,6 +194,7 @@ class ExperimentSpec:
     trace: TraceSpec = field(default_factory=TraceSpec)
     peak_provision_factor: float = 0.8
     params: Tuple[Tuple[str, ParamValue], ...] = ()
+    fleet: Optional[Tuple[Tuple[str, int], ...]] = None
 
     def __post_init__(self) -> None:
         if not self.systems:
@@ -200,6 +209,14 @@ class ExperimentSpec:
             seen.add(key)
             _canon_token(value)  # raises on unsupported types
         object.__setattr__(self, "params", tuple(sorted(self.params)))
+        if self.fleet is not None:
+            object.__setattr__(
+                self, "fleet", tuple(sorted((str(k), int(v)) for k, v in self.fleet))
+            )
+            # Resolve eagerly so bad class names / counts fail at spec
+            # construction with the one-line FleetSpec error, not inside a
+            # grid cell.
+            self.resolve_fleet()
 
     # ------------------------------------------------------------- builders
     def with_params(self, **params: ParamValue) -> "ExperimentSpec":
@@ -212,10 +229,26 @@ class ExperimentSpec:
         """The params as a plain dict."""
         return dict(self.params)
 
+    def resolve_fleet(self):
+        """The spec's fleet as a :class:`~repro.core.config.FleetSpec`.
+
+        ``None`` when the cell runs the homogeneous ``scale.num_workers``
+        cluster.  Validation (unknown classes, bad counts) lives in
+        :class:`~repro.core.config.FleetSpec`.
+        """
+        if self.fleet is None:
+            return None
+        from repro.core.config import fleet_from_counts
+
+        return fleet_from_counts(dict(self.fleet))
+
     # ------------------------------------------------------------- identity
     def token(self) -> str:
         """Canonical token string the content hash is derived from."""
         scale = self.scale
+        fleet_token = (
+            "" if self.fleet is None else ",".join(f"{k}:{v}" for k, v in self.fleet)
+        )
         parts = [
             f"schema={CACHE_SCHEMA_VERSION}",
             f"cascade={self.cascade}",
@@ -225,6 +258,7 @@ class ExperimentSpec:
             self.trace.token(),
             f"peak={_canon_token(self.peak_provision_factor)}",
             "params(" + ",".join(f"{k}={_canon_token(v)}" for k, v in self.params) + ")",
+            f"fleet({fleet_token})",
         ]
         return "|".join(parts)
 
@@ -247,6 +281,8 @@ class ExperimentSpec:
             if self.trace.qps is not None:
                 desc += f"{self.trace.qps:g}qps"
             bits.append(desc)
+        if self.fleet is not None:
+            bits.append("+".join(f"{k}x{v}" for k, v in self.fleet))
         bits.extend(f"{k}={v}" for k, v in self.params)
         return "/".join(bits)
 
@@ -286,11 +322,13 @@ class ExperimentGrid:
         params_list: Sequence[Dict[str, ParamValue]] = ({},),
         peak_provision_factor: float = 0.8,
         base_scale: Optional[ExperimentScale] = None,
+        fleets: Sequence[Optional[Dict[str, int]]] = (None,),
     ) -> "ExperimentGrid":
-        """Cross product of cascades x scales (or seeds) x traces x params.
+        """Cross product of cascades x scales (or seeds) x traces x params x fleets.
 
         Either pass explicit ``scales`` or a ``base_scale`` plus ``seeds`` to
-        vary only the seed.
+        vary only the seed.  Each ``fleets`` entry is a ``{class: count}``
+        mapping (``None`` keeps the homogeneous ``num_workers`` cluster).
         """
         if scales is None:
             base = base_scale if base_scale is not None else ExperimentScale()
@@ -305,11 +343,13 @@ class ExperimentGrid:
                 trace=trace,
                 peak_provision_factor=peak_provision_factor,
                 params=tuple(sorted(params.items())),
+                fleet=None if fleet is None else tuple(sorted(fleet.items())),
             )
             for cascade in cascades
             for scale in scales
             for trace in traces
             for params in params_list
+            for fleet in fleets
         ]
         return cls(specs=tuple(specs))
 

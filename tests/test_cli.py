@@ -217,6 +217,73 @@ def test_run_command_out_of_range_param_value_names_the_key(capsys):
     assert "Traceback" not in captured.err
 
 
+# -------------------------------------------------------------- fleet flag
+def test_parse_fleet_accepts_pairs_and_json():
+    assert cli.parse_fleet(None) is None
+    assert cli.parse_fleet("") is None
+    assert cli.parse_fleet("a100=8,l4=16") == {"a100": 8, "l4": 16}
+    assert cli.parse_fleet('{"a100": 8, "l4": 16}') == {"a100": 8, "l4": 16}
+
+
+def test_parse_fleet_rejects_bad_input_with_one_line_errors():
+    with pytest.raises(ValueError, match="expected class=count"):
+        cli.parse_fleet("a100")
+    with pytest.raises(ValueError, match="'a100': count must be a positive integer"):
+        cli.parse_fleet("a100=eight")
+    with pytest.raises(ValueError, match="'l4': count must be a positive integer"):
+        cli.parse_fleet('{"l4": 2.5}')
+    with pytest.raises(ValueError, match="duplicate fleet class 'a100'"):
+        cli.parse_fleet("a100=2,a100=4")
+    with pytest.raises(ValueError, match="unknown device class 'b200'"):
+        cli.parse_fleet("b200=4")
+    with pytest.raises(ValueError, match="malformed JSON for --fleet"):
+        cli.parse_fleet('{"a100": }')
+    with pytest.raises(ValueError, match="count must be >= 1"):
+        cli.parse_fleet("a100=0")
+
+
+def test_parse_grid_fleet_becomes_cached_dimension():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    plain = cli.parse_grid("cascades=sdturbo;systems=diffserve", scale)
+    typed = cli.parse_grid(
+        "cascades=sdturbo;systems=diffserve", scale, fleet="l4=4,a100=2"
+    )
+    assert typed[0].fleet == (("a100", 2), ("l4", 4))  # canonical (sorted) order
+    assert plain[0].fleet is None
+    # The fleet is a real grid dimension: the cells hash differently and the
+    # label names the fleet.
+    assert plain[0].content_hash != typed[0].content_hash
+    assert "a100x2+l4x4" in typed[0].label
+
+
+def test_run_command_accepts_fleet_flag(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    argv = [
+        "run", "--grid", "cascades=sdturbo;qps=4;systems=diffserve",
+        "--fleet", "a100=1,l4=2",
+    ] + TINY_ARGS
+    assert cli.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "a100x1+l4x2" in out
+    assert "cells=1 ok=1 cached=0" in out
+
+
+def test_run_command_bad_fleet_is_clean_cli_error(capsys):
+    argv = ["run", "--grid", "cascades=sdturbo;systems=diffserve", "--fleet", "b200=4"]
+    assert cli.main(argv) == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error:")
+    assert "b200" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_fleet_experiment_is_registered():
+    assert "fleet" in cli.EXPERIMENTS
+    description, runner = cli.EXPERIMENTS["fleet"]
+    assert "fleet" in description.lower() or "Heterogeneous" in description
+    assert callable(runner)
+
+
 # ------------------------------------------------------------- replan flags
 def test_parse_grid_replan_flags_become_cached_params():
     scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)

@@ -194,6 +194,109 @@ def test_violation_ratio_bounded(latencies, slo, dropped):
 
 
 # ------------------------------------------------------------------------ MILP
+from repro.milp.problem import Sense, VarType  # noqa: E402
+
+
+def _random_problem(rng) -> MILPProblem:
+    """A random bounded MILP exercising all variable types and senses."""
+    problem = MILPProblem("lowering")
+    n = int(rng.integers(2, 6))
+    for i in range(n):
+        vtype = [VarType.CONTINUOUS, VarType.INTEGER, VarType.BINARY][int(rng.integers(0, 3))]
+        lower = float(rng.uniform(-3, 2))
+        upper = None if (vtype != VarType.BINARY and rng.random() < 0.3) else lower + float(
+            rng.uniform(0, 6)
+        )
+        problem.add_variable(f"v{i}", lower=lower, upper=upper, vtype=vtype)
+    problem.set_objective(
+        {f"v{i}": float(rng.uniform(-2, 2)) for i in range(n) if rng.random() < 0.8}
+    )
+    for _ in range(int(rng.integers(1, 5))):
+        coeffs = {
+            f"v{i}": float(rng.uniform(-2, 2)) for i in range(n) if rng.random() < 0.7
+        }
+        if not coeffs:
+            coeffs = {"v0": 1.0}
+        sense = [Sense.LE, Sense.GE, Sense.EQ][int(rng.integers(0, 3))]
+        problem.add_constraint(coeffs, sense, float(rng.uniform(-5, 5)))
+    return problem
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_milp_lowering_preserves_bounds_and_integrality(seed):
+    """Variable bounds and integrality survive the round-trip to linprog
+    matrix form, in the declared variable order."""
+    rng = np.random.default_rng(seed)
+    problem = _random_problem(rng)
+    mats = problem.to_matrices()
+    order = mats["order"]
+    assert order == list(problem.variables)
+    for name, (lo, hi) in zip(order, mats["bounds"]):
+        var = problem.variables[name]
+        assert lo == var.lower
+        assert hi == var.upper
+        if var.vtype == VarType.BINARY:
+            assert (lo, hi) == (max(0.0, lo), hi) and hi <= 1.0
+        assert var.is_integral == (var.vtype in (VarType.INTEGER, VarType.BINARY))
+    # Objective: maximisation is negated into linprog's minimisation vector.
+    for i, name in enumerate(order):
+        assert mats["c"][i] == pytest.approx(-problem.objective.get(name, 0.0))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_milp_lowering_preserves_constraint_senses_and_rows(seed):
+    """Every constraint lands in the right matrix block with the right sign:
+    LE rows verbatim in A_ub, GE rows negated into A_ub, EQ rows in A_eq —
+    in declaration order within each block."""
+    rng = np.random.default_rng(seed)
+    problem = _random_problem(rng)
+    mats = problem.to_matrices()
+    index = {name: i for i, name in enumerate(mats["order"])}
+    ub_rows = [] if mats["A_ub"] is None else list(zip(mats["A_ub"], mats["b_ub"]))
+    eq_rows = [] if mats["A_eq"] is None else list(zip(mats["A_eq"], mats["b_eq"]))
+    ub_cursor = eq_cursor = 0
+    for con in problem.constraints:
+        dense = np.zeros(len(index))
+        for name, coeff in con.coefficients.items():
+            dense[index[name]] = coeff
+        if con.sense == Sense.EQ:
+            row, rhs = eq_rows[eq_cursor]
+            eq_cursor += 1
+            assert np.allclose(row, dense) and rhs == pytest.approx(con.rhs)
+        else:
+            row, rhs = ub_rows[ub_cursor]
+            ub_cursor += 1
+            sign = 1.0 if con.sense == Sense.LE else -1.0
+            assert np.allclose(row, sign * dense)
+            assert rhs == pytest.approx(sign * con.rhs)
+    assert ub_cursor == len(ub_rows) and eq_cursor == len(eq_rows)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    lo=st.floats(min_value=-2.0, max_value=2.0),
+    width=st.floats(min_value=0.0, max_value=4.0),
+)
+@settings(**_SETTINGS)
+def test_milp_lowering_extra_bounds_only_tighten(seed, lo, width):
+    """Branch-and-bound bound overrides can only shrink a variable's box."""
+    rng = np.random.default_rng(seed)
+    problem = _random_problem(rng)
+    name = next(iter(problem.variables))
+    mats = problem.to_matrices(extra_bounds={name: (lo, lo + width)})
+    i = mats["order"].index(name)
+    tight_lo, tight_hi = mats["bounds"][i]
+    var = problem.variables[name]
+    assert tight_lo >= var.lower
+    assert tight_lo >= lo
+    if var.upper is not None:
+        assert tight_hi is not None and tight_hi <= var.upper
+    if tight_hi is not None:
+        assert tight_hi <= lo + width + 1e-12
+
+
 @given(seed=st.integers(min_value=0, max_value=10_000))
 @settings(max_examples=15, deadline=None)
 def test_branch_and_bound_matches_exhaustive_on_random_milps(seed):
