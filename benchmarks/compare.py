@@ -1,0 +1,194 @@
+"""Compare two pytest-benchmark JSON snapshots and gate on regressions.
+
+CI's ``bench-compare`` job downloads the ``BENCH_*.json`` artifacts from the
+latest successful run on ``main`` and diffs them against the PR's freshly
+measured numbers::
+
+    python benchmarks/compare.py baseline-dir/ current-dir/ --threshold 25
+
+Two kinds of metrics are gated, both against the same relative threshold:
+
+* **Timing medians** (lower is better) — every benchmark's ``stats.median``.
+* **Gated throughput metrics** (higher is better) — ``extra_info`` entries
+  whose key starts with ``gated_`` (e.g. ``gated_speedup_x4``).  Other
+  ``extra_info`` entries are reported but never fail the job.
+
+The verdict table is written to stdout and, when ``$GITHUB_STEP_SUMMARY`` is
+set, appended to the job summary.  A missing baseline (first run on a branch,
+expired artifacts, renamed benchmark) is a *note*, not a failure: exit 0 so
+new benchmarks can land.
+
+Local reproduction of the CI gate::
+
+    PYTHONPATH=src pytest benchmarks/test_bench_shards.py -q --benchmark-only \
+        --benchmark-json /tmp/new/BENCH_shards.json
+    python benchmarks/compare.py /tmp/old /tmp/new
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Metric:
+    """One gated measurement of one benchmark."""
+
+    benchmark: str
+    name: str
+    value: float
+    higher_is_better: bool
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.benchmark, self.name)
+
+
+def _benchmark_files(path: Path) -> List[Path]:
+    """The ``BENCH_*.json`` files under ``path`` (or ``path`` itself)."""
+    if path.is_file():
+        return [path]
+    if path.is_dir():
+        # Artifacts may be extracted nested (one directory per artifact).
+        return sorted(path.rglob("BENCH_*.json"))
+    return []
+
+
+def load_metrics(path: Path) -> Dict[Tuple[str, str], Metric]:
+    """All gated metrics in the snapshot at ``path``, keyed for matching."""
+    metrics: Dict[Tuple[str, str], Metric] = {}
+    for file in _benchmark_files(path):
+        try:
+            payload = json.loads(file.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"note: skipping unreadable benchmark file {file}: {exc}")
+            continue
+        for bench in payload.get("benchmarks", []):
+            name = bench.get("fullname") or bench.get("name") or "?"
+            median = (bench.get("stats") or {}).get("median")
+            if isinstance(median, (int, float)):
+                metric = Metric(name, "median_s", float(median), higher_is_better=False)
+                metrics[metric.key] = metric
+            for key, value in (bench.get("extra_info") or {}).items():
+                if not str(key).startswith("gated_"):
+                    continue
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    continue
+                metric = Metric(name, str(key), float(value), higher_is_better=True)
+                metrics[metric.key] = metric
+    return metrics
+
+
+def _change_pct(baseline: float, current: float, higher_is_better: bool) -> float:
+    """Relative regression in percent (positive = worse)."""
+    if baseline == 0:
+        return 0.0
+    change = (current - baseline) / abs(baseline) * 100.0
+    return -change if higher_is_better else change
+
+
+def compare(
+    baseline: Dict[Tuple[str, str], Metric],
+    current: Dict[Tuple[str, str], Metric],
+    threshold_pct: float,
+) -> Tuple[List[List[str]], List[str]]:
+    """(markdown table rows, regression messages) for the two snapshots."""
+    rows: List[List[str]] = []
+    regressions: List[str] = []
+    for key in sorted(current):
+        metric = current[key]
+        base = baseline.get(key)
+        direction = "higher=better" if metric.higher_is_better else "lower=better"
+        if base is None:
+            rows.append(
+                [metric.benchmark, metric.name, "—", f"{metric.value:.4g}", "new", "ℹ️"]
+            )
+            continue
+        regression = _change_pct(base.value, metric.value, metric.higher_is_better)
+        worse = regression > threshold_pct
+        if worse:
+            regressions.append(
+                f"{metric.benchmark} {metric.name} ({direction}): "
+                f"{base.value:.4g} -> {metric.value:.4g} "
+                f"({regression:+.1f}% worse, threshold {threshold_pct:g}%)"
+            )
+        rows.append(
+            [
+                metric.benchmark,
+                metric.name,
+                f"{base.value:.4g}",
+                f"{metric.value:.4g}",
+                f"{regression:+.1f}%",
+                "❌" if worse else "✅",
+            ]
+        )
+    for key in sorted(set(baseline) - set(current)):
+        base = baseline[key]
+        rows.append([base.benchmark, base.name, f"{base.value:.4g}", "—", "missing", "ℹ️"])
+    return rows, regressions
+
+
+def render_markdown(rows: List[List[str]], threshold_pct: float) -> str:
+    header = ["benchmark", "metric", "baseline", "current", "regression", ""]
+    lines = [
+        f"### Benchmark comparison (gate: >{threshold_pct:g}% regression fails)",
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def _emit(markdown: str) -> None:
+    print(markdown)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(markdown + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="baseline BENCH_*.json file or directory")
+    parser.add_argument("current", type=Path, help="current BENCH_*.json file or directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="fail when any gated metric regresses by more than this percent",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_metrics(args.current)
+    if not current:
+        print(f"error: no benchmark JSON found under {args.current}", file=sys.stderr)
+        return 2
+    baseline = load_metrics(args.baseline)
+    if not baseline:
+        _emit(
+            "### Benchmark comparison\n\n"
+            f"No baseline benchmarks found under `{args.baseline}` "
+            "(first run, expired artifacts, or renamed files) — nothing to gate."
+        )
+        return 0
+
+    rows, regressions = compare(baseline, current, args.threshold)
+    _emit(render_markdown(rows, args.threshold))
+    if regressions:
+        print(f"\n{len(regressions)} gated regression(s):", file=sys.stderr)
+        for message in regressions:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    print(f"\nAll {len(rows)} gated metrics within {args.threshold:g}% of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.experiments import (
     fig7_discriminator,
     fig8_allocation_ablation,
     fig9_slo_sensitivity,
+    geo_scale,
     heterogeneity,
     milp_overhead,
     reuse_study,
@@ -55,6 +56,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fleet": (
         "Heterogeneous fleets: homogeneous vs. mixed at equal aggregate cost",
         heterogeneity.main,
+    ),
+    "geo": (
+        "Geo-scale serving: multi-region topologies through the shard supervisor",
+        geo_scale.main,
     ),
 }
 
@@ -117,6 +122,26 @@ def build_parser() -> argparse.ArgumentParser:
             "('a100=8,l4=16') or a JSON object ('{\"a100\": 8, \"l4\": 16}'); "
             "classes come from the built-in catalog (a100, h100, a10g, l4, t4) "
             "and the fleet becomes a cached grid dimension replacing --workers"
+        ),
+    )
+    runner.add_argument(
+        "--geo",
+        default=None,
+        help=(
+            "geo topology, either a catalog name (single, us-eu, global-4, "
+            "global-8) or a JSON object mapping region names to "
+            "'{\"fleet\": {class: count}, \"rtt_ms\": number, \"weight\": number}'; "
+            "cells run every region through the shard supervisor and become a "
+            "cached grid dimension"
+        ),
+    )
+    runner.add_argument(
+        "--shards",
+        default="1",
+        help=(
+            "worker processes per cell for sharded execution ('auto' picks from "
+            "the CPU count); results are byte-identical for any value — this "
+            "only chooses how many processes the regions are packed into"
         ),
     )
     runner.add_argument(
@@ -274,6 +299,26 @@ def parse_fleet(text: Optional[str]) -> Optional[Dict[str, int]]:
     return counts
 
 
+def parse_shards(text: Optional[str]) -> int:
+    """Parse a ``--shards`` value: a positive integer or ``auto``.
+
+    ``auto`` resolves against the machine's CPU count (capped), so CI and
+    laptops pick sensible process counts without per-host flags.
+    """
+    stripped = (text or "1").strip().lower()
+    if stripped == "auto":
+        from repro.core.sharding import default_shards
+
+        return default_shards()
+    try:
+        shards = int(stripped)
+    except ValueError:
+        raise ValueError(f"--shards must be a positive integer or 'auto', got {text!r}") from None
+    if shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {shards}")
+    return shards
+
+
 def parse_grid(
     text: str,
     scale: ExperimentScale,
@@ -283,6 +328,8 @@ def parse_grid(
     replan_epoch: Optional[float] = None,
     replan_policy: Optional[str] = None,
     fleet: Optional[str] = None,
+    geo: Optional[str] = None,
+    shards: int = 1,
 ):
     """Build an :class:`~repro.runner.spec.ExperimentGrid` from a ``--grid`` spec.
 
@@ -302,6 +349,10 @@ def parse_grid(
     ``fleet`` (the ``--fleet`` flag) runs every cell on a typed device fleet
     instead of the homogeneous ``--workers`` cluster — a real (cached) grid
     dimension, validated eagerly against the device catalog.
+    ``geo`` (the ``--geo`` flag) serves every cell over a multi-region
+    topology through the shard supervisor, and ``shards`` packs the regions
+    into that many worker processes — sharding never changes summaries, only
+    wall-clock.
     """
     from repro.runner.spec import DEFAULT_SYSTEMS, ExperimentGrid, TraceSpec
 
@@ -369,6 +420,12 @@ def parse_grid(
     if replan:
         params_list = [{**params, **replan} for params in params_list]
     scales = [replace(scale, seed=s) for s in seeds]
+    if geo is not None:
+        from repro.core.geo import parse_geo
+
+        # Eager validation: a bad topology name / malformed JSON fails the
+        # parse with a one-line error, not a traceback inside a grid cell.
+        parse_geo(geo)
     return ExperimentGrid.product(
         cascades=cascades,
         scales=scales,
@@ -376,6 +433,8 @@ def parse_grid(
         traces=traces,
         params_list=params_list,
         fleets=(parse_fleet(fleet),),
+        geos=(geo,),
+        shards=shards,
     )
 
 
@@ -395,6 +454,8 @@ def run_grid_command(args: argparse.Namespace) -> int:
             replan_epoch=args.replan_epoch,
             replan_policy=args.replan_policy,
             fleet=args.fleet,
+            geo=args.geo,
+            shards=parse_shards(args.shards),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -101,6 +101,37 @@ class ColumnStore:
             feature_index=np.asarray(feat_idx, dtype=np.int64),
         )
 
+    @classmethod
+    def concat(cls, stores: List["ColumnStore"], feature_dim: int) -> "ColumnStore":
+        """Concatenate stores row-wise (shard merge).
+
+        ``feature_index`` entries are shifted by the preceding stores' row
+        counts so they keep addressing their own rows.  Concatenating the
+        per-epoch / per-region chunks a sharded run drains reproduces the
+        exact arrays a serial :meth:`from_records` pass would build — the
+        values are copied, never recomputed — which is what lets sharded
+        summaries stay byte-identical to serial ones.
+        """
+        if not stores:
+            return cls.from_records([], feature_dim)
+        if len(stores) == 1:
+            return stores[0]
+        offsets = np.cumsum([0] + [len(store) for store in stores[:-1]])
+        features = [store.features for store in stores if len(store.features)]
+        return cls(
+            arrival=np.concatenate([store.arrival for store in stores]),
+            deadline=np.concatenate([store.deadline for store in stores]),
+            completion=np.concatenate([store.completion for store in stores]),
+            stage=np.concatenate([store.stage for store in stores]),
+            quality=np.concatenate([store.quality for store in stores]),
+            confidence=np.concatenate([store.confidence for store in stores]),
+            deferred=np.concatenate([store.deferred for store in stores]),
+            features=np.concatenate(features) if features else np.zeros((0, feature_dim)),
+            feature_index=np.concatenate(
+                [store.feature_index + offset for store, offset in zip(stores, offsets)]
+            ),
+        )
+
     def __len__(self) -> int:
         return len(self.arrival)
 
@@ -212,6 +243,11 @@ class ResultCollector:
         """Cumulative completed-but-late queries (live view, O(1))."""
         return self._violated
 
+    @property
+    def heavy_count(self) -> int:
+        """Cumulative heavy-model completions (live view, O(1))."""
+        return self._heavy
+
     def window_stats(self) -> Tuple[int, int]:
         """(violations, completions) since the last call; resets the counters."""
         stats = (self._violations_window, self._completions_window)
@@ -284,11 +320,43 @@ class SimulationResult:
             self._columns = cached
         return cached
 
+    @classmethod
+    def from_columns(
+        cls,
+        cols: ColumnStore,
+        *,
+        dataset: QueryDataset,
+        slo: float,
+        duration: float,
+        control_history: Optional[List[ControlSnapshot]] = None,
+        allocator_solve_times: Optional[List[float]] = None,
+        system_name: str = "system",
+        replan_history: Optional[List[object]] = None,
+    ) -> "SimulationResult":
+        """Build a result directly from a (merged) column store.
+
+        The sharded path ships columns, not ``QueryRecord`` objects, across
+        process boundaries; ``records`` is therefore empty here and every
+        metric reads the pre-built store.
+        """
+        result = cls(
+            records=[],
+            dataset=dataset,
+            slo=slo,
+            duration=duration,
+            control_history=list(control_history or []),
+            allocator_solve_times=list(allocator_solve_times or []),
+            system_name=system_name,
+            replan_history=list(replan_history or []),
+        )
+        result._columns = cols
+        return result
+
     # ------------------------------------------------------------ accounting
     @property
     def total_queries(self) -> int:
         """Number of queries that entered the system."""
-        return len(self.records)
+        return len(self.cols)
 
     @property
     def completed_records(self) -> List[QueryRecord]:

@@ -9,7 +9,7 @@ simulator, runs a workload trace through the system, and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 
 from repro.core.config import FleetSpec, RoutingMode, SystemConfig
@@ -82,6 +82,65 @@ class ClientSource(Actor):
 
 
 @dataclass
+class SystemRuntime:
+    """A fully wired serving system whose event loop the caller drives.
+
+    :meth:`ServingSimulation.run` is the one-shot driver; the shard
+    supervisor instead :meth:`inject`s routed queries epoch by epoch and
+    :meth:`advance`s to each barrier, which fires exactly the same events in
+    exactly the same order as a straight run (events are totally ordered by
+    ``(time, priority, seq)`` and arrival times are continuous draws, so
+    slicing the loop at barriers cannot reorder anything).
+    """
+
+    sim: Simulator
+    collector: ResultCollector
+    load_balancer: LoadBalancer
+    controller: Controller
+    replanner: Optional[ReplanController]
+    config: SystemConfig
+    dataset: QueryDataset
+    name: str
+
+    def inject(self, queries: Sequence[Query]) -> None:
+        """Schedule fully formed queries as future arrivals.
+
+        Arrival times must lie at or after the current clock — the epoch
+        protocol guarantees this by injecting epoch ``k``'s queries before
+        advancing into epoch ``k``.
+        """
+        submit = self.load_balancer.submit
+        schedule_at = self.sim.schedule_at
+        for query in queries:
+            schedule_at(query.arrival_time, lambda q=query: submit(q), name="arrival")
+
+    def start(self) -> None:
+        """Fire actor start hooks (idempotent; applies plan zero, etc.)."""
+        self.sim.start()
+
+    def advance(self, until: float) -> float:
+        """Advance the event loop to the barrier time ``until``."""
+        return self.sim.advance(until=until)
+
+    def finish(self) -> None:
+        """Fire actor finish hooks (idempotent; flushes statistics)."""
+        self.sim.finish()
+
+    def result(self, duration: float) -> SimulationResult:
+        """Package everything measured so far as a :class:`SimulationResult`."""
+        return SimulationResult(
+            records=self.collector.records,
+            dataset=self.dataset,
+            slo=self.config.slo,
+            duration=duration,
+            control_history=list(self.controller.history),
+            allocator_solve_times=list(self.controller.solve_times),
+            system_name=self.name,
+            replan_history=list(self.replanner.history) if self.replanner is not None else [],
+        )
+
+
+@dataclass
 class ServingSimulation:
     """A configured serving system ready to run a trace.
 
@@ -117,11 +176,12 @@ class ServingSimulation:
     replan: Optional[ReplanConfig] = None
     name: str = "diffserve"
 
-    def run(self, trace: Workload, *, duration: Optional[float] = None) -> SimulationResult:
-        """Run the workload through the system and collect results.
+    def prepare(self) -> SystemRuntime:
+        """Wire the full system (no client source) and return its runtime.
 
-        ``trace`` is either a concrete :class:`ArrivalTrace` or an
-        :class:`~repro.workloads.base.ArrivalProcess` sampled at start.
+        The runtime is what both drivers share: :meth:`run` attaches a
+        :class:`ClientSource` and runs to the horizon, while the shard
+        supervisor injects externally routed queries epoch by epoch.
         """
         sim = Simulator(seed=self.config.seed)
         generator = ImageGenerator(seed=self.config.seed)
@@ -195,25 +255,36 @@ class ServingSimulation:
                 config=self.replan,
             )
 
-        ClientSource(sim, trace, self.dataset, load_balancer, self.config.slo)
-
-        horizon = duration
-        if horizon is None:
-            # Leave room for the last queries to drain (a few SLOs past the
-            # final arrival).
-            horizon = trace.duration + 4 * self.config.slo
-        sim.run(until=horizon)
-
-        return SimulationResult(
-            records=collector.records,
+        return SystemRuntime(
+            sim=sim,
+            collector=collector,
+            load_balancer=load_balancer,
+            controller=controller,
+            replanner=replanner,
+            config=self.config,
             dataset=self.dataset,
-            slo=self.config.slo,
-            duration=horizon,
-            control_history=list(controller.history),
-            allocator_solve_times=list(controller.solve_times),
-            system_name=self.name,
-            replan_history=list(replanner.history) if replanner is not None else [],
+            name=self.name,
         )
+
+    def horizon(self, trace: Workload) -> float:
+        """Default run horizon: the last arrival plus a drain margin.
+
+        A few SLOs past the trace's end leaves room for the final queries to
+        complete or be dropped.
+        """
+        return trace.duration + 4 * self.config.slo
+
+    def run(self, trace: Workload, *, duration: Optional[float] = None) -> SimulationResult:
+        """Run the workload through the system and collect results.
+
+        ``trace`` is either a concrete :class:`ArrivalTrace` or an
+        :class:`~repro.workloads.base.ArrivalProcess` sampled at start.
+        """
+        runtime = self.prepare()
+        ClientSource(runtime.sim, trace, self.dataset, runtime.load_balancer, self.config.slo)
+        horizon = duration if duration is not None else self.horizon(trace)
+        runtime.sim.run(until=horizon)
+        return runtime.result(horizon)
 
 
 #: Integral-search-space cutoff below which re-planning systems hand the

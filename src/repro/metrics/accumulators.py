@@ -128,6 +128,27 @@ class GaussianStats:
         return (cov + cov.T) / 2.0
 
 
+def merge_all(accumulators: Iterable):
+    """Left-fold ``merge`` over mergeable accumulators (shard reduction).
+
+    Works for any accumulator exposing ``merge`` (:class:`GaussianStats`,
+    :class:`StreamingMoments`).  Both merges are associative and exact, so
+    the fold result is independent of how the stream was partitioned across
+    shards — the property the sharded-equals-serial live views rest on (and
+    that the hypothesis partition-invariance tests pin).  Raises
+    :class:`ValueError` on an empty iterable: the caller knows the right
+    identity element (dimensionality, type), this function does not.
+    """
+    iterator = iter(accumulators)
+    try:
+        merged = next(iterator)
+    except StopIteration:
+        raise ValueError("merge_all needs at least one accumulator") from None
+    for accumulator in iterator:
+        merged = merged.merge(accumulator)
+    return merged
+
+
 class StreamingMoments:
     """Running count / mean / variance / extrema of a scalar stream.
 

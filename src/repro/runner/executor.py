@@ -97,14 +97,18 @@ def resolve_workload(spec: ExperimentSpec):
     The workload *shape* (e.g. the azure replay curve) is seeded by the
     scale's seed only; ``spec.trace.seed`` overrides just the arrival
     sampling, so the same shape can be replayed under many realisations.
+    Geo cells scale the default QPS range by the topology's total device
+    count — the whole point of a geo fleet is demand one cluster can't hold.
     """
     from repro.workloads import cascade_qps_range, make_workload
 
+    topology = spec.resolve_geo()
+    num_workers = spec.scale.num_workers if topology is None else topology.total_workers
     return make_workload(
         spec.trace.kind,
         duration=spec.scale.trace_duration,
         qps=spec.trace.qps,
-        qps_range=cascade_qps_range(spec.cascade, spec.scale.num_workers),
+        qps_range=cascade_qps_range(spec.cascade, num_workers),
         seed=spec.scale.seed,
         params=spec.trace.params_dict(),
     )
@@ -132,7 +136,10 @@ def run_cell_results(
 
     This is the canonical build/run/collect loop: shared components come from
     the artifact cache, every requested system is instantiated with the
-    spec's parameter overrides, and each runs the same arrival trace.
+    spec's parameter overrides, and each runs the same arrival trace.  Geo
+    cells (and explicit ``shards``) run each system through the epoch-
+    synchronous shard supervisor instead of the single event loop; both
+    paths compute byte-identical summaries for equivalent scenarios.
     """
     from repro.experiments.harness import build_comparison_systems, shared_components
 
@@ -148,7 +155,16 @@ def run_cell_results(
         fleet=spec.resolve_fleet(),
         **spec.params_dict(),
     )
-    results = {name: system.run(trace) for name, system in systems.items()}
+    topology = spec.resolve_geo()
+    if topology is not None or spec.shards > 1:
+        from repro.core.sharding import run_sharded
+
+        results = {
+            name: run_sharded(system, trace, topology=topology, shards=spec.shards)
+            for name, system in systems.items()
+        }
+    else:
+        results = {name: system.run(trace) for name, system in systems.items()}
     return curve, results
 
 

@@ -29,7 +29,10 @@ from repro.experiments.harness import ExperimentScale
 #: v5: heterogeneous device fleets — ``fleet`` became a grid dimension, the
 #: MILP indexes worker variables by device class, and workers execute on
 #: per-(variant, device-class) latency profiles.
-CACHE_SCHEMA_VERSION = 5
+#: v6: sharded geo simulation — ``geo`` / ``shards`` became grid dimensions
+#: and geo cells run through the epoch-synchronous shard supervisor
+#: (latency-aware routing, per-region seeds, merged columnar results).
+CACHE_SCHEMA_VERSION = 6
 
 #: The standard five-system comparison run by most figures.
 DEFAULT_SYSTEMS: Tuple[str, ...] = (
@@ -186,6 +189,17 @@ class ExperimentSpec:
         against the built-in catalog (``None`` keeps the homogeneous
         ``scale.num_workers`` cluster).  A real grid dimension: it enters the
         canonical token, so cells with different fleets hash differently.
+    geo:
+        Geo topology the cell is served over: a catalog name from
+        :data:`repro.core.geo.GEO_TOPOLOGIES` or the ``--geo`` JSON form
+        (``None`` keeps the single-cluster path).  Hashes by the *resolved*
+        topology token, so a catalog name and its equivalent JSON share a
+        cache entry.
+    shards:
+        Worker processes the cell's regions are packed into.  Enters the
+        token deliberately even though sharding never changes results — the
+        ``--shards 4`` vs ``--shards 1`` byte-identity gate must compare two
+        genuinely computed cells, not one cell and its own cache hit.
     """
 
     cascade: str
@@ -195,6 +209,8 @@ class ExperimentSpec:
     peak_provision_factor: float = 0.8
     params: Tuple[Tuple[str, ParamValue], ...] = ()
     fleet: Optional[Tuple[Tuple[str, int], ...]] = None
+    geo: Optional[str] = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if not self.systems:
@@ -217,6 +233,15 @@ class ExperimentSpec:
             # construction with the one-line FleetSpec error, not inside a
             # grid cell.
             self.resolve_fleet()
+        if isinstance(self.shards, bool) or not isinstance(self.shards, int):
+            raise ValueError(f"shards must be an integer, got {self.shards!r}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.geo is not None:
+            # Same eager-resolution rule as fleets: a bad topology name or
+            # malformed JSON fails at spec construction.
+            if self.resolve_geo() is None:
+                raise ValueError("geo must be a topology name/JSON, not blank")
 
     # ------------------------------------------------------------- builders
     def with_params(self, **params: ParamValue) -> "ExperimentSpec":
@@ -242,6 +267,18 @@ class ExperimentSpec:
 
         return fleet_from_counts(dict(self.fleet))
 
+    def resolve_geo(self):
+        """The spec's geo topology as a :class:`~repro.core.geo.GeoTopology`.
+
+        ``None`` when the cell runs the single-cluster path.  Parsing and
+        validation live in :func:`~repro.core.geo.parse_geo`.
+        """
+        if self.geo is None:
+            return None
+        from repro.core.geo import parse_geo
+
+        return parse_geo(self.geo)
+
     # ------------------------------------------------------------- identity
     def token(self) -> str:
         """Canonical token string the content hash is derived from."""
@@ -260,6 +297,13 @@ class ExperimentSpec:
             "params(" + ",".join(f"{k}={_canon_token(v)}" for k, v in self.params) + ")",
             f"fleet({fleet_token})",
         ]
+        if self.geo is not None or self.shards != 1:
+            # Appended conditionally so pre-geo specs keep their v-schema
+            # token shape (the schema bump invalidates old entries anyway;
+            # this just keeps tokens minimal for the common case).
+            geo = self.resolve_geo()
+            parts.append(f"geo({'' if geo is None else geo.token()})")
+            parts.append(f"shards={self.shards}")
         return "|".join(parts)
 
     @property
@@ -283,6 +327,11 @@ class ExperimentSpec:
             bits.append(desc)
         if self.fleet is not None:
             bits.append("+".join(f"{k}x{v}" for k, v in self.fleet))
+        if self.geo is not None:
+            geo = self.geo if not self.geo.strip().startswith("{") else "geo-json"
+            bits.append(geo)
+        if self.shards != 1:
+            bits.append(f"shards{self.shards}")
         bits.extend(f"{k}={v}" for k, v in self.params)
         return "/".join(bits)
 
@@ -323,12 +372,17 @@ class ExperimentGrid:
         peak_provision_factor: float = 0.8,
         base_scale: Optional[ExperimentScale] = None,
         fleets: Sequence[Optional[Dict[str, int]]] = (None,),
+        geos: Sequence[Optional[str]] = (None,),
+        shards: int = 1,
     ) -> "ExperimentGrid":
-        """Cross product of cascades x scales (or seeds) x traces x params x fleets.
+        """Cross product of cascades x scales (or seeds) x traces x params x fleets x geos.
 
         Either pass explicit ``scales`` or a ``base_scale`` plus ``seeds`` to
         vary only the seed.  Each ``fleets`` entry is a ``{class: count}``
-        mapping (``None`` keeps the homogeneous ``num_workers`` cluster).
+        mapping (``None`` keeps the homogeneous ``num_workers`` cluster); each
+        ``geos`` entry a topology name / JSON (``None`` keeps the
+        single-cluster path).  ``shards`` applies to every cell — it is an
+        execution knob, not a studied dimension, so it does not fan out.
         """
         if scales is None:
             base = base_scale if base_scale is not None else ExperimentScale()
@@ -344,12 +398,15 @@ class ExperimentGrid:
                 peak_provision_factor=peak_provision_factor,
                 params=tuple(sorted(params.items())),
                 fleet=None if fleet is None else tuple(sorted(fleet.items())),
+                geo=geo,
+                shards=shards,
             )
             for cascade in cascades
             for scale in scales
             for trace in traces
             for params in params_list
             for fleet in fleets
+            for geo in geos
         ]
         return cls(specs=tuple(specs))
 

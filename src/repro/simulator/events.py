@@ -127,6 +127,38 @@ class EventQueue:
             # so re-heapifying preserves pop order exactly.
             heapq.heapify(self._heap)
 
+    # ------------------------------------------------------------- migration
+    def __getstate__(self) -> dict:
+        """Pickle support for shard migration.
+
+        The live-entry counter that drives lazy compaction is process-local
+        bookkeeping: it only means anything next to *this* heap list.  A
+        pickled queue therefore ships compacted — cancelled entries are
+        dropped eagerly so the restored queue starts from the ``dead == 0``
+        invariant — and the counter is re-derived on restore rather than
+        trusted, so a migrated queue can never under-count its dead entries
+        and skip compaction.  Raises if the counter has already drifted from
+        the heap (a corrupted queue must fail the migration, not export the
+        corruption).
+        """
+        live = sorted(event for event in self._heap if not event.cancelled)
+        if self._live != len(live):
+            raise RuntimeError(
+                f"EventQueue live-counter drift: counter says {self._live}, "
+                f"heap holds {len(live)} live events"
+            )
+        next_seq = max((event.seq for event in live), default=-1) + 1
+        return {"heap": live, "next_seq": next_seq}
+
+    def __setstate__(self, state: dict) -> None:
+        heap = list(state["heap"])
+        # A sorted list is a valid heap, but heapify anyway so the invariant
+        # never depends on the serialised ordering.
+        heapq.heapify(heap)
+        self._heap = heap
+        self._live = len(heap)
+        self._counter = itertools.count(state["next_seq"])
+
     def pop(self) -> Event:
         """Pop the earliest non-cancelled event.
 

@@ -23,6 +23,8 @@ class Simulator:
         self.actors: List["Actor"] = []
         self._stopped = False
         self._fired = 0
+        self._started = False
+        self._finished = False
 
     # ------------------------------------------------------------------ time
     @property
@@ -70,25 +72,29 @@ class Simulator:
         """Request the run loop to stop after the current event."""
         self._stopped = True
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run the simulation.
+    def start(self) -> None:
+        """Fire every actor's ``start`` hook exactly once (idempotent).
 
-        Parameters
-        ----------
-        until:
-            Stop once the next event would fire after this time.  ``None``
-            runs until the event queue drains.
-        max_events:
-            Safety valve limiting the number of fired events.
-
-        Returns
-        -------
-        float
-            The simulation time at which the run stopped.
+        Epoch-stepped drivers (the shard supervisor) call this before their
+        first :meth:`advance`; :meth:`run` calls it implicitly.  Re-invoking
+        is a no-op, so resuming a run never re-schedules initial events.
         """
-        self._stopped = False
+        if self._started:
+            return
+        self._started = True
         for actor in self.actors:
             actor.start()
+
+    def advance(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Advance the clock by firing events, without lifecycle hooks.
+
+        This is the barrier-stepping primitive behind sharded execution: a
+        sequence of ``advance(b1); advance(b2); ...`` calls fires exactly the
+        same events in exactly the same order as one ``advance(horizon)``
+        (events are totally ordered by ``(time, priority, seq)``, and slicing
+        the loop never perturbs that order) — which is what makes epoch-
+        stepped shards byte-identical to a straight serial run.
+        """
         fired_this_run = 0
         while self.events and not self._stopped:
             next_time = self.events.peek_time()
@@ -106,9 +112,43 @@ class Simulator:
                 break
         if until is not None and not self.events and self.now < until and not self._stopped:
             self.now = until
+        return self.now
+
+    def finish(self) -> None:
+        """Fire every actor's ``finish`` hook exactly once (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
         for actor in self.actors:
             actor.finish()
-        return self.now
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire after this time.  ``None``
+            runs until the event queue drains.
+        max_events:
+            Safety valve limiting the number of fired events.
+
+        Returns
+        -------
+        float
+            The simulation time at which the run stopped.
+
+        ``run`` may be called repeatedly to resume (e.g. after a
+        ``max_events`` budget); actors are started on the first call only,
+        while ``finish`` hooks re-fire at the end of every call so partial
+        runs still flush statistics.
+        """
+        self._stopped = False
+        self.start()
+        now = self.advance(until=until, max_events=max_events)
+        self._finished = False
+        self.finish()
+        return now
 
 
 class Actor:

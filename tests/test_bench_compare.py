@@ -1,0 +1,116 @@
+"""Tests for the CI benchmark-comparison gate (``benchmarks/compare.py``)."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+from benchmarks import compare  # noqa: E402
+
+
+def write_snapshot(path, name, *, median, extra_info=None):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": name,
+                "stats": {"median": median, "mean": median},
+                "extra_info": extra_info or {},
+            }
+        ]
+    }
+    path.write_text(json.dumps(payload))
+
+
+def test_within_threshold_passes(tmp_path, capsys):
+    write_snapshot(tmp_path / "old" / "BENCH_x.json", "bench_x", median=1.0)
+    write_snapshot(tmp_path / "new" / "BENCH_x.json", "bench_x", median=1.2)
+    assert compare.main([str(tmp_path / "old"), str(tmp_path / "new")]) == 0
+    out = capsys.readouterr().out
+    assert "+20.0%" in out and "✅" in out
+
+
+def test_median_regression_fails(tmp_path, capsys):
+    write_snapshot(tmp_path / "old" / "BENCH_x.json", "bench_x", median=1.0)
+    write_snapshot(tmp_path / "new" / "BENCH_x.json", "bench_x", median=1.5)
+    assert compare.main([str(tmp_path / "old"), str(tmp_path / "new")]) == 1
+    captured = capsys.readouterr()
+    assert "❌" in captured.out
+    assert "median_s" in captured.err
+
+
+def test_gated_extra_info_is_higher_is_better(tmp_path, capsys):
+    write_snapshot(
+        tmp_path / "old" / "BENCH_x.json",
+        "bench_x",
+        median=1.0,
+        extra_info={"gated_speedup_x4": 4.0, "events_per_sec": 100.0},
+    )
+    # Throughput halves (fails the gate) while the median improves; the
+    # ungated extra_info never enters the table.
+    write_snapshot(
+        tmp_path / "new" / "BENCH_x.json",
+        "bench_x",
+        median=0.9,
+        extra_info={"gated_speedup_x4": 2.0, "events_per_sec": 1.0},
+    )
+    assert compare.main([str(tmp_path / "old"), str(tmp_path / "new")]) == 1
+    captured = capsys.readouterr()
+    assert "gated_speedup_x4" in captured.err
+    assert "events_per_sec" not in captured.out
+
+
+def test_threshold_flag_and_improvements(tmp_path):
+    write_snapshot(tmp_path / "old" / "BENCH_x.json", "bench_x", median=1.0)
+    write_snapshot(tmp_path / "new" / "BENCH_x.json", "bench_x", median=1.4)
+    assert compare.main([str(tmp_path / "old"), str(tmp_path / "new"), "--threshold", "50"]) == 0
+    write_snapshot(tmp_path / "new" / "BENCH_x.json", "bench_x", median=0.1)
+    assert compare.main([str(tmp_path / "old"), str(tmp_path / "new")]) == 0
+
+
+def test_missing_baseline_is_a_note_not_a_failure(tmp_path, capsys):
+    write_snapshot(tmp_path / "new" / "BENCH_x.json", "bench_x", median=1.0)
+    assert compare.main([str(tmp_path / "missing"), str(tmp_path / "new")]) == 0
+    assert "No baseline benchmarks" in capsys.readouterr().out
+
+
+def test_missing_current_is_an_error(tmp_path, capsys):
+    write_snapshot(tmp_path / "old" / "BENCH_x.json", "bench_x", median=1.0)
+    assert compare.main([str(tmp_path / "old"), str(tmp_path / "nothing")]) == 2
+    assert "no benchmark JSON" in capsys.readouterr().err
+
+
+def test_new_and_vanished_benchmarks_are_informational(tmp_path, capsys):
+    write_snapshot(tmp_path / "old" / "BENCH_a.json", "bench_a", median=1.0)
+    write_snapshot(tmp_path / "new" / "BENCH_b.json", "bench_b", median=2.0)
+    assert compare.main([str(tmp_path / "old"), str(tmp_path / "new")]) == 0
+    out = capsys.readouterr().out
+    assert "new" in out and "missing" in out
+
+
+def test_summary_is_appended_to_github_step_summary(tmp_path, monkeypatch):
+    summary = tmp_path / "summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    write_snapshot(tmp_path / "old" / "BENCH_x.json", "bench_x", median=1.0)
+    write_snapshot(tmp_path / "new" / "BENCH_x.json", "bench_x", median=1.0)
+    assert compare.main([str(tmp_path / "old"), str(tmp_path / "new")]) == 0
+    assert "Benchmark comparison" in summary.read_text()
+
+
+def test_corrupt_baseline_file_is_skipped(tmp_path, capsys):
+    bad = tmp_path / "old" / "BENCH_bad.json"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("{not json")
+    write_snapshot(tmp_path / "old" / "BENCH_x.json", "bench_x", median=1.0)
+    write_snapshot(tmp_path / "new" / "BENCH_x.json", "bench_x", median=1.0)
+    assert compare.main([str(tmp_path / "old"), str(tmp_path / "new")]) == 0
+    assert "skipping unreadable" in capsys.readouterr().out
+
+
+def test_change_pct_orientation():
+    assert compare._change_pct(1.0, 1.5, higher_is_better=False) == pytest.approx(50.0)
+    assert compare._change_pct(1.0, 0.5, higher_is_better=True) == pytest.approx(50.0)
+    assert compare._change_pct(2.0, 4.0, higher_is_better=True) == pytest.approx(-100.0)
+    assert compare._change_pct(0.0, 1.0, higher_is_better=False) == 0.0

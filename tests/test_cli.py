@@ -319,3 +319,56 @@ def test_replan_flags_cross_with_slo_sweep():
         assert params["replan_epoch"] == 2.0
         assert params["replan_policy"] == "periodic"
     assert {spec.params_dict()["slo"] for spec in grid} == {3.0, 5.0}
+
+
+# ------------------------------------------------------------ geo/shards flags
+def test_parse_shards_int_auto_and_errors():
+    assert cli.parse_shards("1") == 1
+    assert cli.parse_shards(" 4 ") == 4
+    assert 1 <= cli.parse_shards("auto") <= 8
+    assert cli.parse_shards(None) == 1  # unset flag keeps the serial default
+    for bad in ("0", "-2", "two", "1.5"):
+        with pytest.raises(ValueError):
+            cli.parse_shards(bad)
+
+
+def test_parse_grid_geo_and_shards_flags():
+    scale = ExperimentScale(dataset_size=60, trace_duration=10.0, num_workers=2, seed=0)
+    grid = cli.parse_grid(
+        "cascades=sdturbo;qps=4;systems=diffserve", scale, geo="us-eu", shards=2
+    )
+    assert len(grid) == 1
+    assert grid[0].geo == "us-eu"
+    assert grid[0].shards == 2
+    plain = cli.parse_grid("cascades=sdturbo;qps=4;systems=diffserve", scale)
+    assert plain[0].geo is None and plain[0].shards == 1
+    assert grid[0].cache_key != plain[0].cache_key
+    with pytest.raises(ValueError):
+        cli.parse_grid("cascades=sdturbo;qps=4;systems=diffserve", scale, geo="atlantis")
+
+
+def test_run_command_accepts_geo_and_shards(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    argv = [
+        "run",
+        "--grid", "cascades=sdturbo;qps=4;systems=diffserve",
+        "--geo", "us-eu",
+        "--shards", "2",
+        "--jobs", "1",
+    ] + TINY_ARGS
+    assert cli.main(argv) == 0
+    assert "cells=1 ok=1" in capsys.readouterr().out
+
+
+def test_run_command_bad_geo_and_shards_are_clean_cli_errors(capsys):
+    argv = ["run", "--grid", "cascades=sdturbo;qps=4;systems=diffserve"]
+    assert cli.main(argv + ["--geo", "atlantis"]) == 2
+    assert "geo" in capsys.readouterr().err.lower()
+    assert cli.main(argv + ["--shards", "zero"]) == 2
+    assert "--shards" in capsys.readouterr().err
+
+
+def test_geo_experiment_is_registered():
+    description, runner = cli.EXPERIMENTS["geo"]
+    assert "topolog" in description.lower()
+    assert callable(runner)

@@ -442,3 +442,67 @@ def test_p2_quantile_within_bruteforce_percentile_band(n, seed, scale, dist, q):
     lo = float(np.percentile(values, max(0.0, 100.0 * q - _P2_BAND)))
     hi = float(np.percentile(values, min(100.0, 100.0 * q + _P2_BAND)))
     assert lo - 1e-9 <= est <= hi + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Shard-merge partition invariance (PR 6): merging per-chunk accumulators over
+# ANY partition of a stream must equal accumulating the whole stream at once.
+# This is the algebraic property the sharded-equals-serial live views rest on.
+# ---------------------------------------------------------------------------
+from repro.metrics.accumulators import GaussianStats, StreamingMoments, merge_all  # noqa: E402
+
+
+def _partition(values, cut_fracs):
+    """Split ``values`` at the (sorted, deduplicated) fractional cut points."""
+    cuts = sorted({int(round(f * len(values))) for f in cut_fracs})
+    edges = [0] + [c for c in cuts if 0 < c < len(values)] + [len(values)]
+    return [values[lo:hi] for lo, hi in zip(edges, edges[1:])]
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=1, max_size=80
+    ),
+    cut_fracs=st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=6),
+)
+@settings(**_SETTINGS)
+def test_streaming_moments_merge_is_partition_invariant(values, cut_fracs):
+    whole = StreamingMoments()
+    whole.add_batch(values)
+    parts = []
+    for chunk in _partition(values, cut_fracs):
+        acc = StreamingMoments()
+        acc.add_batch(chunk)
+        parts.append(acc)
+    merged = merge_all(parts)
+    assert merged.count == whole.count
+    assert merged.minimum == whole.minimum
+    assert merged.maximum == whole.maximum
+    assert np.isclose(merged.mean, whole.mean, atol=1e-9)
+    if whole.count >= 2:
+        assert np.isclose(merged.variance, whole.variance, rtol=1e-9, atol=1e-9)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    dim=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    cut_fracs=st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=6),
+)
+@settings(**_SETTINGS)
+def test_gaussian_stats_merge_is_partition_invariant(n, dim, seed, cut_fracs):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(scale=10.0, size=(n, dim))
+    whole = GaussianStats.from_features(features)
+    chunks = [chunk for chunk in _partition(features, cut_fracs) if len(chunk)]
+    merged = merge_all([GaussianStats.from_features(chunk) for chunk in chunks])
+    assert merged.count == whole.count
+    assert np.allclose(merged.sum, whole.sum, atol=1e-9)
+    assert np.allclose(merged.outer, whole.outer, rtol=1e-9, atol=1e-9)
+    if n >= 2:
+        assert np.allclose(merged.cov(), whole.cov(), rtol=1e-8, atol=1e-9)
+
+
+def test_merge_all_rejects_empty_iterable():
+    with pytest.raises(ValueError):
+        merge_all([])

@@ -271,3 +271,56 @@ def test_trace_seed_rerolls_arrivals_but_not_the_azure_shape():
 
     assert np.allclose(curve_a.rates, curve_b.rates)  # same shape
     assert not np.array_equal(trace_a.arrival_times, trace_b.arrival_times)
+
+
+# ------------------------------------------------------------ geo/shards axis
+def test_geo_and_shards_are_cached_dimensions():
+    plain = tiny_spec()
+    geo = tiny_spec(geo="us-eu")
+    geo4 = tiny_spec(geo="us-eu", shards=4)
+    sharded = tiny_spec(shards=4)
+    assert len({s.cache_key for s in (plain, geo, geo4, sharded)}) == 4
+    assert "us-eu" in geo.label
+    assert geo4.label.endswith("shards4")
+    # JSON topologies hash by resolved canonical token, not source text.
+    json_a = tiny_spec(geo='{"us": {"fleet": {"a100": 2}}, "eu": {"fleet": {"a100": 2}}}')
+    json_b = tiny_spec(geo='{"eu": {"fleet": {"a100": 2}}, "us": {"fleet": {"a100": 2}}}')
+    assert json_a.cache_key == json_b.cache_key
+    assert "geo-json" in json_a.label
+
+
+def test_spec_rejects_bad_geo_and_shards():
+    with pytest.raises(ValueError):
+        tiny_spec(shards=0)
+    with pytest.raises(ValueError):
+        tiny_spec(shards=True)
+    with pytest.raises(ValueError):
+        tiny_spec(geo="atlantis")
+    with pytest.raises(ValueError):
+        tiny_spec(geo="{bad json")
+
+
+def test_grid_product_fans_out_geos_and_applies_shards():
+    grid = ExperimentGrid.product(
+        cascades=("sdturbo",),
+        scales=(TINY,),
+        systems=("diffserve",),
+        traces=(TraceSpec(kind="static", qps=4.0),),
+        geos=(None, "us-eu"),
+        shards=2,
+    )
+    assert len(grid) == 2
+    assert [spec.geo for spec in grid] == [None, "us-eu"]
+    assert all(spec.shards == 2 for spec in grid)
+
+
+def test_geo_cell_runs_sharded_and_matches_shard_counts(tmp_path):
+    """One grid cell, geo topology, shards=1 vs shards=2: byte-identical."""
+    from repro.runner.executor import run_cell
+
+    cache = ArtifactCache(root=tmp_path)
+    spec1 = tiny_spec(geo="us-eu", trace=TraceSpec(kind="static", qps=6.0))
+    spec2 = tiny_spec(geo="us-eu", shards=2, trace=TraceSpec(kind="static", qps=6.0))
+    a = canonical_summaries_json(run_cell(spec1, cache=cache))
+    b = canonical_summaries_json(run_cell(spec2, cache=cache))
+    assert a == b

@@ -156,3 +156,68 @@ def test_compaction_keeps_cancel_idempotent():
     assert len(q) == 50
     times = [q.pop().time for _ in range(len(q))]
     assert times == [float(i) for i in range(150, 200)]
+
+
+# ---------------------------------------------------------------------------
+# Pickle / shard-migration support (PR 6).  The compaction counter is
+# process-local bookkeeping: a pickled queue must ship compacted with the
+# counter re-derived on restore, and a drifted counter must fail the export.
+# ---------------------------------------------------------------------------
+import pickle
+
+
+def _noop():  # module-level so the callbacks pickle
+    return None
+
+
+def _marker():
+    return "fired"
+
+
+def test_pickle_roundtrip_drops_cancelled_and_rederives_counter():
+    q = EventQueue()
+    kept = [q.push(float(t), _marker, name=f"k{t}") for t in (3, 1, 2)]
+    doomed = [q.push(0.5, _noop), q.push(1.5, _noop)]
+    for event in doomed:
+        q.cancel(event)
+
+    restored = pickle.loads(pickle.dumps(q))
+    assert len(restored) == len(q) == 3
+    # Only live entries crossed the boundary.
+    assert all(not event.cancelled for event in restored._heap)
+    assert len(restored._heap) == 3
+    # Pop order (time, priority, seq) is preserved exactly.
+    assert [event.time for event in (restored.pop(), restored.pop(), restored.pop())] == [
+        1.0,
+        2.0,
+        3.0,
+    ]
+    # The counter resumes past the highest surviving seq: new pushes keep the
+    # total order monotonic.
+    top = pickle.loads(pickle.dumps(q))
+    fresh = top.push(9.0, _noop)
+    assert fresh.seq > max(event.seq for event in kept)
+
+
+def test_restored_queue_still_compacts():
+    q = EventQueue()
+    events = [q.push(float(t), _noop) for t in range(200)]
+    restored = pickle.loads(pickle.dumps(q))
+    restored_events = sorted(restored._heap)
+    for event in restored_events[:150]:
+        restored.cancel(event)
+    # The restored queue must keep compacting: without it the heap would hold
+    # all 200 entries; with it the dead never outnumber the live.
+    assert len(restored) == 50
+    assert len(restored._heap) < 200
+    assert len(restored._heap) - len(restored) <= len(restored)
+    assert len(events) == 200  # originals untouched
+
+
+def test_pickling_a_drifted_queue_raises():
+    q = EventQueue()
+    q.push(1.0, _noop)
+    q.push(2.0, _noop)
+    q._live = 7  # simulate corruption
+    with pytest.raises(RuntimeError, match="live-counter drift"):
+        pickle.dumps(q)
