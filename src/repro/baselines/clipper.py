@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.allocator import AllocationPlan, ControlContext
-from repro.core.config import FleetSpec, RoutingMode, SystemConfig
+from repro.core.config import FleetSpec, ResourceConfig, RoutingMode, SystemConfig
 from repro.core.policies import AllocationPolicy
 from repro.core.system import ServingSimulation
 from repro.models.dataset import QueryDataset, load_dataset
@@ -74,6 +74,7 @@ def build_clipper_system(
     num_workers: int = 16,
     slo: Optional[float] = None,
     dataset: Optional[QueryDataset] = None,
+    resources: Optional[ResourceConfig] = None,
     seed: int = 0,
     dataset_size: int = 1000,
 ) -> ServingSimulation:
@@ -94,6 +95,7 @@ def build_clipper_system(
         fleet=fleet,
         slo=slo,
         routing=RoutingMode.SINGLE,
+        resources=resources,
         seed=seed,
     )
     return ServingSimulation(

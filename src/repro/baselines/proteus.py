@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.allocator import AllocationPlan, ControlContext
-from repro.core.config import FleetSpec, RoutingMode, SystemConfig
+from repro.core.config import FleetSpec, ResourceConfig, RoutingMode, SystemConfig
 from repro.core.policies import AllocationPolicy
 from repro.core.system import ServingSimulation
 from repro.models.dataset import QueryDataset, load_dataset
@@ -139,6 +139,7 @@ def build_proteus_system(
     num_workers: int = 16,
     slo: Optional[float] = None,
     dataset: Optional[QueryDataset] = None,
+    resources: Optional[ResourceConfig] = None,
     over_provision: float = 1.1,
     seed: int = 0,
     dataset_size: int = 1000,
@@ -159,6 +160,7 @@ def build_proteus_system(
         fleet=fleet,
         slo=slo,
         routing=RoutingMode.RANDOM_SPLIT,
+        resources=resources,
         seed=seed,
     )
     policy = ProteusPolicy(cascade, over_provision=over_provision)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.allocator import AllocationPlan, ControlContext, DiffServeAllocator
-from repro.core.config import FleetSpec, RoutingMode, SystemConfig
+from repro.core.config import FleetSpec, ResourceConfig, RoutingMode, SystemConfig
 from repro.core.policies import AllocationPolicy
 from repro.core.system import ServingSimulation
 from repro.discriminators.base import Discriminator
@@ -61,6 +61,7 @@ def build_diffserve_static_system(
     dataset: Optional[QueryDataset] = None,
     discriminator: Optional[Discriminator] = None,
     deferral_profile: Optional[DeferralProfile] = None,
+    resources: Optional[ResourceConfig] = None,
     over_provision: float = 1.05,
     seed: int = 0,
     dataset_size: int = 1000,
@@ -83,6 +84,7 @@ def build_diffserve_static_system(
         slo=slo,
         routing=RoutingMode.CASCADE,
         over_provision=over_provision,
+        resources=resources,
         seed=seed,
     )
     allocator = DiffServeAllocator(

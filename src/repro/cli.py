@@ -24,6 +24,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import (
+    contention,
     drift_adaptation,
     fig1_motivation,
     fig1_pareto,
@@ -60,6 +61,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "geo": (
         "Geo-scale serving: multi-region topologies through the shard supervisor",
         geo_scale.main,
+    ),
+    "contention": (
+        "Reload/inference contention: reload-aware vs. reload-oblivious plans",
+        contention.main,
     ),
 }
 
@@ -133,6 +138,18 @@ def build_parser() -> argparse.ArgumentParser:
             "'{\"fleet\": {class: count}, \"rtt_ms\": number, \"weight\": number}'; "
             "cells run every region through the shard supervisor and become a "
             "cached grid dimension"
+        ),
+    )
+    runner.add_argument(
+        "--resources",
+        default=None,
+        help=(
+            "attach the multi-resource worker model: 'default' (built-in "
+            "footprint catalog, reload-aware), 'oblivious' (same catalog, "
+            "reload-oblivious planning), or a JSON object mapping variant "
+            "names to checkpoint GB with optional 'reload_aware' (bool) and "
+            "'egress_gb_per_image' (number) keys; becomes a cached grid "
+            "dimension (omit to keep the legacy execution model)"
         ),
     )
     runner.add_argument(
@@ -299,6 +316,61 @@ def parse_fleet(text: Optional[str]) -> Optional[Dict[str, int]]:
     return counts
 
 
+def parse_resources(text: Optional[str]):
+    """Parse a ``--resources`` string into a
+    :class:`~repro.core.config.ResourceConfig`.
+
+    Accepts ``default`` (the built-in footprint catalog, reload-aware), or a
+    JSON object mapping variant names to checkpoint sizes in GB, with two
+    optional control keys: ``"reload_aware"`` (bool, default true) and
+    ``"egress_gb_per_image"`` (number, applied to every listed variant).
+    Unlisted variants keep their catalog footprints.  Every failure mode
+    raises :class:`ValueError` with a one-line message naming the bad key
+    (mirroring ``--fleet``).
+    """
+    stripped = (text or "").strip()
+    if not stripped:
+        return None
+    from repro.core.config import ResourceConfig
+
+    if not stripped.startswith(("{", "[")):
+        if stripped == "default":
+            return ResourceConfig.default()
+        if stripped == "oblivious":
+            return ResourceConfig.default(reload_aware=False)
+        raise ValueError(
+            f"--resources must be 'default', 'oblivious' or a JSON object, got {text!r}"
+        )
+    try:
+        decoded = json.loads(stripped)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed JSON for --resources: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise ValueError("--resources JSON must be an object of variant: GB pairs")
+    reload_aware = decoded.pop("reload_aware", True)
+    if not isinstance(reload_aware, bool):
+        raise ValueError(f"resources key 'reload_aware' must be a boolean, got {reload_aware!r}")
+    egress = decoded.pop("egress_gb_per_image", None)
+    if egress is not None and (isinstance(egress, bool) or not isinstance(egress, (int, float))):
+        raise ValueError(f"resources key 'egress_gb_per_image' must be a number, got {egress!r}")
+    weights: Dict[str, float] = {}
+    for key, value in decoded.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(
+                f"resources variant {key!r}: weights must be a positive number (GB), "
+                f"got {value!r}"
+            )
+        weights[str(key)] = float(value)
+    try:
+        return ResourceConfig.from_weights(
+            weights,
+            reload_aware=reload_aware,
+            egress_gb_per_image=None if egress is None else float(egress),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ValueError(str(exc).strip("'\"")) from exc
+
+
 def parse_shards(text: Optional[str]) -> int:
     """Parse a ``--shards`` value: a positive integer or ``auto``.
 
@@ -330,6 +402,7 @@ def parse_grid(
     fleet: Optional[str] = None,
     geo: Optional[str] = None,
     shards: int = 1,
+    resources: Optional[str] = None,
 ):
     """Build an :class:`~repro.runner.spec.ExperimentGrid` from a ``--grid`` spec.
 
@@ -352,7 +425,8 @@ def parse_grid(
     ``geo`` (the ``--geo`` flag) serves every cell over a multi-region
     topology through the shard supervisor, and ``shards`` packs the regions
     into that many worker processes — sharding never changes summaries, only
-    wall-clock.
+    wall-clock.  ``resources`` (the ``--resources`` flag) attaches the
+    multi-resource worker model to every cell as a cached grid dimension.
     """
     from repro.runner.spec import DEFAULT_SYSTEMS, ExperimentGrid, TraceSpec
 
@@ -426,6 +500,10 @@ def parse_grid(
         # Eager validation: a bad topology name / malformed JSON fails the
         # parse with a one-line error, not a traceback inside a grid cell.
         parse_geo(geo)
+    if resources is not None:
+        # Same eager-validation rule: bad variant names / malformed JSON fail
+        # the parse, not a grid cell.
+        parse_resources(resources)
     return ExperimentGrid.product(
         cascades=cascades,
         scales=scales,
@@ -435,6 +513,7 @@ def parse_grid(
         fleets=(parse_fleet(fleet),),
         geos=(geo,),
         shards=shards,
+        resources=resources,
     )
 
 
@@ -456,6 +535,7 @@ def run_grid_command(args: argparse.Namespace) -> int:
             fleet=args.fleet,
             geo=args.geo,
             shards=parse_shards(args.shards),
+            resources=args.resources,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import DeviceClass, FleetSpec
+from repro.core.config import DeviceClass, FleetSpec, ResourceConfig, warn_num_workers_alias
 from repro.core.queueing import LittlesLawModel, QueueingModel
 from repro.discriminators.deferral import DeferralProfile
 from repro.milp.branch_and_bound import BranchAndBoundSolver
@@ -79,6 +79,12 @@ class AllocationPlan:
     #: entries only) for typed fleets; ``None`` for class-agnostic plans.
     light_assignment: Optional[Dict[str, int]] = None
     heavy_assignment: Optional[Dict[str, int]] = None
+    #: Multi-resource model only: variants each device class should keep
+    #: resident (``{class name: (variant names...)}``).  The Controller pins
+    #: these on every worker of the class, so later pool reassignments find
+    #: the weights already loaded (zero-transfer reloads).  ``None`` means
+    #: the plan carries no residency decision (legacy / reload-oblivious).
+    residency: Optional[Dict[str, Tuple[str, ...]]] = None
 
     def __post_init__(self) -> None:
         if self.num_light < 0 or self.num_heavy < 0:
@@ -126,6 +132,10 @@ class ControlContext:
     slo_violations_in_window: int = 0
     completions_in_window: int = 0
     current_plan: Optional[AllocationPlan] = None
+    #: Multi-resource worker model (``None`` = legacy).  When set and
+    #: ``reload_aware``, the allocator gates classes on footprints, penalises
+    #: reloads in the objective, and pins co-placement residency on plans.
+    resources: Optional[ResourceConfig] = None
 
     def __post_init__(self) -> None:
         if self.demand < 0:
@@ -137,6 +147,7 @@ class ControlContext:
                 raise ValueError(
                     "ControlContext requires a fleet (or the deprecated num_workers alias)"
                 )
+            warn_num_workers_alias()
             self.fleet = FleetSpec.homogeneous(int(self.num_workers))
         self.num_workers = self.fleet.total_workers
 
@@ -158,6 +169,7 @@ class DiffServeAllocator:
         solver: Optional[BranchAndBoundSolver] = None,
         min_light_workers: int = 1,
         exhaustive_cutoff: int = 0,
+        reload_penalty: float = 0.02,
     ) -> None:
         if over_provision < 1.0:
             raise ValueError("over_provision must be >= 1.0")
@@ -181,6 +193,13 @@ class DiffServeAllocator:
         #: closed form, so small clusters re-plan with pure arithmetic.
         self.exhaustive_cutoff = exhaustive_cutoff
         self.exhaustive_solver = ExhaustiveSolver()
+        #: Objective cost per second of weight-transfer a plan would trigger
+        #: (multi-resource model with ``reload_aware`` only).  Small enough
+        #: that throughput-feasibility always wins, large enough to break
+        #: ties toward splits that avoid reloads.
+        if reload_penalty < 0:
+            raise ValueError("reload_penalty must be non-negative")
+        self.reload_penalty = reload_penalty
         self.threshold_grid = self._build_threshold_grid(threshold_levels)
         self.last_solve_time_s: float = 0.0
         self.solve_times: List[float] = []
@@ -223,12 +242,42 @@ class DiffServeAllocator:
         return variant_profile(self.heavy, device).throughput(batch)
 
     # ---------------------------------------------------------- device classes
+    def _fits(
+        self, device: DeviceClass, variant: ModelVariant, resources: Optional[ResourceConfig]
+    ) -> bool:
+        """Whether ``device`` can host ``variant``.
+
+        Legacy gating compares the variant's coarse ``memory_gb`` against the
+        device tier; with a resource model attached the check uses the
+        declared footprint weights instead — the same quantity the residency
+        sets and transfer channels account at runtime, so the MILP's memory
+        rows (sum of resident footprints <= ``memory_gb``) and the simulator
+        agree.
+        """
+        if resources is None:
+            return device.can_host(variant)
+        footprint = resources.footprint_or_derived(variant)
+        return footprint.weights_gb <= device.memory_gb + 1e-9
+
+    def _co_placed(self, device: DeviceClass, resources: Optional[ResourceConfig]) -> bool:
+        """Whether light and heavy weights fit ``device`` memory together.
+
+        This is the memory row for pinned co-placement: both variants
+        resident at once means pool reassignments on this class cost zero
+        transfer, so reload-aware plans pin them and skip the reload penalty.
+        """
+        if resources is None:
+            return False
+        light_gb = resources.footprint_or_derived(self.light).weights_gb
+        heavy_gb = resources.footprint_or_derived(self.heavy).weights_gb
+        return light_gb + heavy_gb <= device.memory_gb + 1e-9
+
     def _hostable_classes(
-        self, fleet: FleetSpec
+        self, fleet: FleetSpec, resources: Optional[ResourceConfig] = None
     ) -> Tuple[List[DeviceClass], List[DeviceClass]]:
-        """(light, heavy) classes whose memory tier fits each variant."""
-        light = [device for device in fleet.classes if device.can_host(self.light)]
-        heavy = [device for device in fleet.classes if device.can_host(self.heavy)]
+        """(light, heavy) classes whose memory fits each variant."""
+        light = [device for device in fleet.classes if self._fits(device, self.light, resources)]
+        heavy = [device for device in fleet.classes if self._fits(device, self.heavy, resources)]
         if not light:
             raise ValueError(
                 f"no device class in fleet {fleet.token()!r} can host light variant "
@@ -251,7 +300,7 @@ class DiffServeAllocator:
         the pre-fleet behaviour.  Either returned list may be empty (the
         pair is infeasible).
         """
-        light, heavy = self._hostable_classes(ctx.fleet)
+        light, heavy = self._hostable_classes(ctx.fleet, ctx.resources)
         light = [d for d in light if self._light_execution(b1, d) <= ctx.slo]
         heavy = [d for d in heavy if self._heavy_execution(b2, d) <= ctx.slo]
         deferral_guess = ctx.observed_deferral if ctx.observed_deferral is not None else 0.3
@@ -272,6 +321,97 @@ class DiffServeAllocator:
             else:
                 return [], []
         return [], []
+
+    # ----------------------------------------------------- reload-aware model
+    @staticmethod
+    def _spread_assignment(
+        plan: AllocationPlan, fleet: FleetSpec
+    ) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Per-class (light, heavy) worker counts of ``plan`` on ``fleet``.
+
+        Class-agnostic plans spread their totals in fleet order (the same
+        order the Controller maps them onto device groups).
+        """
+        counts = fleet.as_counts()
+        light = dict(plan.light_assignment or {})
+        heavy = dict(plan.heavy_assignment or {})
+        if plan.light_assignment is None and plan.num_light:
+            remaining = plan.num_light
+            for name, count in counts.items():
+                take = min(remaining, count)
+                light[name] = take
+                remaining -= take
+        if plan.heavy_assignment is None and plan.num_heavy:
+            remaining = plan.num_heavy
+            for name, count in counts.items():
+                take = min(remaining, count)
+                heavy[name] = take
+                remaining -= take
+        return light, heavy
+
+    def _reload_model(self, ctx: ControlContext) -> Optional[Dict[str, object]]:
+        """Per-class reload costs and the previous split, or ``None``.
+
+        Active only when a reload-aware resource model is attached and a
+        previous plan exists.  A class where both variants co-reside
+        (:meth:`_co_placed`) reloads for free — its residency is pinned — so
+        only non-co-placed classes carry a cost: the time to move the stage's
+        weights over the class's ``transfer_gbps`` channel.
+        """
+        resources = ctx.resources
+        if resources is None or not resources.reload_aware or ctx.current_plan is None:
+            return None
+        light_gb = resources.footprint_or_derived(self.light).weights_gb
+        heavy_gb = resources.footprint_or_derived(self.heavy).weights_gb
+        costs: Dict[str, Tuple[float, float]] = {}
+        any_cost = False
+        for device in ctx.fleet.classes:
+            if self._co_placed(device, resources):
+                costs[device.name] = (0.0, 0.0)
+            else:
+                costs[device.name] = (
+                    light_gb / device.transfer_gbps,
+                    heavy_gb / device.transfer_gbps,
+                )
+                any_cost = True
+        if not any_cost:
+            return None
+        prev_light, prev_heavy = self._spread_assignment(ctx.current_plan, ctx.fleet)
+        return {"costs": costs, "prev_light": prev_light, "prev_heavy": prev_heavy}
+
+    def _plan_residency(self, ctx: ControlContext) -> Optional[Dict[str, Tuple[str, ...]]]:
+        """Residency each device class should pin under the new plan.
+
+        Co-placed classes pin both variants (future pool flips are free);
+        other classes carry forward whatever previous pins still fit their
+        memory — the repair that preserves residency across fleet drift
+        (classes that vanished simply drop out, new classes start unpinned).
+        """
+        resources = ctx.resources
+        if resources is None or not resources.reload_aware:
+            return None
+        previous = (
+            ctx.current_plan.residency
+            if ctx.current_plan is not None and ctx.current_plan.residency is not None
+            else {}
+        )
+        residency: Dict[str, Tuple[str, ...]] = {}
+        for device in ctx.fleet.classes:
+            if self._co_placed(device, resources):
+                residency[device.name] = (self.light.name, self.heavy.name)
+                continue
+            kept: List[str] = []
+            occupied = 0.0
+            for name in previous.get(device.name, ()):
+                try:
+                    weights = resources.footprint_for(name).weights_gb
+                except KeyError:
+                    continue
+                if occupied + weights <= device.memory_gb + 1e-9:
+                    kept.append(name)
+                    occupied += weights
+            residency[device.name] = tuple(kept)
+        return residency
 
     # ----------------------------------------------------------------- MILP
     def build_problem(
@@ -310,7 +450,7 @@ class DiffServeAllocator:
             raise ValueError("formulation must be 'fraction' or 'binary'")
         fleet = ctx.fleet
         if light_classes is None or heavy_classes is None:
-            light_classes, heavy_classes = self._hostable_classes(fleet)
+            light_classes, heavy_classes = self._hostable_classes(fleet, ctx.resources)
         problem = MILPProblem(name=f"diffserve-b{b1}-b{b2}")
 
         if fleet.is_homogeneous:
@@ -356,7 +496,42 @@ class DiffServeAllocator:
 
         if formulation == "fraction":
             problem.add_continuous("f", lower=0.0, upper=1.0)
-            problem.set_objective({"f": 1.0})
+            objective: Dict[str, float] = {"f": 1.0}
+            # Reload-aware plans (multi-resource model) pay for every worker
+            # newly added to a pool on classes where the stage's weights are
+            # not already co-resident: r{1,2}[c] >= x{1,2}[c] - prev[c],
+            # entering the objective at -penalty * transfer_time.  The binary
+            # cross-check formulation stays reload-oblivious on purpose.
+            reload = self._reload_model(ctx)
+            if reload is not None:
+                if fleet.is_homogeneous:
+                    cname = fleet.classes[0].name
+                    entries = [
+                        ("x1", "r1", cname, 0, reload["prev_light"]),
+                        ("x2", "r2", cname, 1, reload["prev_heavy"]),
+                    ]
+                else:
+                    entries = [
+                        (f"x1[{d.name}]", f"r1[{d.name}]", d.name, 0, reload["prev_light"])
+                        for d in light_classes
+                    ] + [
+                        (f"x2[{d.name}]", f"r2[{d.name}]", d.name, 1, reload["prev_heavy"])
+                        for d in heavy_classes
+                    ]
+                for x_name, r_name, cname, stage, prev in entries:
+                    cost = reload["costs"][cname][stage]
+                    if cost <= 0 or x_name not in problem.variables:
+                        continue
+                    problem.add_continuous(
+                        r_name, lower=0.0, upper=float(fleet.count_for(cname))
+                    )
+                    problem.add_ge(
+                        {r_name: 1.0, x_name: -1.0},
+                        -float(prev.get(cname, 0)),
+                        name=f"reload[{x_name}]",
+                    )
+                    objective[r_name] = -self.reload_penalty * cost
+            problem.set_objective(objective)
             problem.add_ge(light_vars, demand, name="light-throughput")
             heavy_row = {"f": demand, **heavy_vars}
             problem.add_le(heavy_row, 0.0, name="heavy-throughput")
@@ -501,7 +676,9 @@ class DiffServeAllocator:
             x1 = min(max(previous.num_light, self.min_light_workers, min_x1), S)
             x2 = max(min(previous.num_heavy, S - x1), 0)
             f = min(1.0, x2 * t2 / demand) if demand > 0 else 1.0
-            return {"x1": float(x1), "x2": float(x2), "f": float(f)}
+            return self._fill_reload_vars(
+                {"x1": float(x1), "x2": float(x2), "f": float(f)}, ctx
+            )
 
         counts = fleet.as_counts()
         light_names = [d.name for d in light_classes]
@@ -573,6 +750,31 @@ class DiffServeAllocator:
             assignment[f"x1[{name}]"] = float(x1[name])
         for name in heavy_names:
             assignment[f"x2[{name}]"] = float(x2[name])
+        return self._fill_reload_vars(assignment, ctx)
+
+    def _fill_reload_vars(
+        self, assignment: Dict[str, float], ctx: ControlContext
+    ) -> Dict[str, float]:
+        """Complete a warm incumbent with the reload variables it implies.
+
+        The solver validates incumbents against the full variable set, so a
+        reload-aware problem needs its ``r`` variables seeded too; they take
+        their tight values ``max(0, x - prev)``.
+        """
+        reload = self._reload_model(ctx)
+        if reload is None:
+            return assignment
+        for x_name, value in list(assignment.items()):
+            if not x_name.startswith("x"):
+                continue
+            stage = 0 if x_name.startswith("x1") else 1
+            cname = x_name[3:-1] if "[" in x_name else ctx.fleet.classes[0].name
+            cost = reload["costs"].get(cname, (0.0, 0.0))[stage]
+            if cost <= 0:
+                continue
+            prev = reload["prev_light"] if stage == 0 else reload["prev_heavy"]
+            r_name = ("r1" if stage == 0 else "r2") + (f"[{cname}]" if "[" in x_name else "")
+            assignment[r_name] = max(0.0, value - float(prev.get(cname, 0)))
         return assignment
 
     def _fraction_upper_bound(
@@ -702,6 +904,7 @@ class DiffServeAllocator:
             return self._best_effort_plan(ctx, elapsed)
         best = self._assign_spare_workers(best, ctx.fleet, *best_classes)
         best.solver_time_s = elapsed
+        best.residency = self._plan_residency(ctx)
         return best
 
     def _assign_spare_workers(

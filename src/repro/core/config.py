@@ -16,10 +16,12 @@ CLI's ``--workload-params`` error style.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
-from repro.models.zoo import CascadeSpec
+from repro.models.profiles import ModelFootprint
+from repro.models.zoo import MODEL_FOOTPRINTS, CascadeSpec
 
 
 class RoutingMode(enum.Enum):
@@ -61,6 +63,11 @@ class DeviceClass:
         reload models more slowly).
     cost_per_hour:
         Relative cost in A100-hours, used by the equal-cost fleet studies.
+    transfer_gbps:
+        Weight-transfer bandwidth budget per device (GB/s): the host-to-device
+        channel model reloads and result egress share proportionally under the
+        multi-resource worker model.  Ignored unless a
+        :class:`ResourceConfig` is attached to the system.
     """
 
     name: str
@@ -68,6 +75,7 @@ class DeviceClass:
     memory_gb: float = 80.0
     reload_factor: float = 1.0
     cost_per_hour: float = 1.0
+    transfer_gbps: float = 16.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -80,6 +88,8 @@ class DeviceClass:
             raise ValueError(f"device class {self.name!r}: reload_factor must be non-negative")
         if self.cost_per_hour <= 0:
             raise ValueError(f"device class {self.name!r}: cost_per_hour must be positive")
+        if self.transfer_gbps <= 0:
+            raise ValueError(f"device class {self.name!r}: transfer_gbps must be positive")
 
     def can_host(self, variant) -> bool:
         """Whether ``variant`` (any object with ``memory_gb``) fits in memory."""
@@ -91,15 +101,15 @@ class DeviceClass:
 #: are relative on-demand prices in A100-hours.
 DEVICE_CLASSES: Dict[str, DeviceClass] = {
     "a100": DeviceClass("a100", speed_factor=1.0, memory_gb=80.0, reload_factor=1.0,
-                        cost_per_hour=1.0),
+                        cost_per_hour=1.0, transfer_gbps=16.0),
     "h100": DeviceClass("h100", speed_factor=0.55, memory_gb=80.0, reload_factor=0.8,
-                        cost_per_hour=1.8),
+                        cost_per_hour=1.8, transfer_gbps=24.0),
     "a10g": DeviceClass("a10g", speed_factor=1.8, memory_gb=24.0, reload_factor=1.4,
-                        cost_per_hour=0.45),
+                        cost_per_hour=0.45, transfer_gbps=8.0),
     "l4": DeviceClass("l4", speed_factor=2.4, memory_gb=24.0, reload_factor=1.6,
-                      cost_per_hour=0.3),
+                      cost_per_hour=0.3, transfer_gbps=6.0),
     "t4": DeviceClass("t4", speed_factor=3.6, memory_gb=16.0, reload_factor=2.0,
-                      cost_per_hour=0.15),
+                      cost_per_hour=0.15, transfer_gbps=4.0),
 }
 
 #: The class homogeneous (``num_workers=N``) configurations expand to.
@@ -215,6 +225,167 @@ def fleet_from_counts(counts: Mapping[str, int]) -> FleetSpec:
     )
 
 
+#: Set once the first ``num_workers=`` alias warning has been emitted; the
+#: alias is used on nearly every legacy call site, so warning once per
+#: process keeps the signal without drowning test output.
+_NUM_WORKERS_ALIAS_WARNED = False
+
+
+def warn_num_workers_alias() -> None:
+    """Emit the ``num_workers=`` deprecation warning (once per process).
+
+    Call sites that expand a bare worker count into a homogeneous fleet
+    (``SystemConfig`` and ``ControlContext``) route through here; tests reset
+    ``_NUM_WORKERS_ALIAS_WARNED`` to observe the warning deterministically.
+    """
+    global _NUM_WORKERS_ALIAS_WARNED
+    if _NUM_WORKERS_ALIAS_WARNED:
+        return
+    _NUM_WORKERS_ALIAS_WARNED = True
+    warnings.warn(
+        "num_workers= is a deprecated alias for fleet=FleetSpec.homogeneous(n); "
+        "pass a FleetSpec instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# --------------------------------------------------------------------------
+# Resource model (memory residency + transfer bandwidth + egress)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResourceConfig:
+    """Multi-resource worker model configuration.
+
+    Attaching one of these to a :class:`SystemConfig` switches workers from
+    the legacy "compute + scalar reload delay" model to the three-resource
+    stage machine (resident → transferring → computing → sending): variant
+    weights occupy device memory while resident, reloads move
+    ``footprints[variant].weights_gb`` over the device's ``transfer_gbps``
+    channel, and result egress shares that channel proportionally.  ``None``
+    (the default everywhere) keeps the legacy model bit-for-bit.
+
+    ``footprints`` is canonical (name-sorted) so equal configs compare,
+    hash, and tokenise identically — it is validated here and consumed by the
+    worker, the allocator, and the runner's cache keys.
+    """
+
+    footprints: Tuple[Tuple[str, ModelFootprint], ...]
+    #: Whether the MILP objective penalises reloads and pins co-placement
+    #: residency.  ``False`` keeps the simulator's resource model but plans
+    #: as if reloads were free — the naive arm of the contention study.
+    reload_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.footprints:
+            raise ValueError("resources: footprints must name at least one variant")
+        seen = set()
+        for name, footprint in self.footprints:
+            if not name:
+                raise ValueError("resources: footprint variant name must be non-empty")
+            if name in seen:
+                raise ValueError(f"resources: footprint {name!r} listed more than once")
+            seen.add(name)
+            if not isinstance(footprint, ModelFootprint):
+                raise ValueError(f"resources: footprint {name!r} is not a ModelFootprint")
+        object.__setattr__(
+            self, "footprints", tuple(sorted(self.footprints, key=lambda nf: nf[0]))
+        )
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def default(cls, *, reload_aware: bool = True) -> "ResourceConfig":
+        """The zoo's full footprint catalog."""
+        return cls(
+            footprints=tuple(sorted(MODEL_FOOTPRINTS.items())), reload_aware=reload_aware
+        )
+
+    @classmethod
+    def from_weights(
+        cls,
+        weights: Mapping[str, float],
+        *,
+        reload_aware: bool = True,
+        egress_gb_per_image: Optional[float] = None,
+    ) -> "ResourceConfig":
+        """Catalog overridden with explicit ``{variant: weights_gb}`` entries.
+
+        Variants absent from ``weights`` keep their catalog footprint; an
+        explicit ``egress_gb_per_image`` applies to every entry.
+        """
+        merged: Dict[str, ModelFootprint] = dict(MODEL_FOOTPRINTS)
+        for name, gb in weights.items():
+            base = merged.get(name)
+            egress = (
+                egress_gb_per_image
+                if egress_gb_per_image is not None
+                else (base.egress_gb_per_image if base is not None else 0.003)
+            )
+            merged[name] = ModelFootprint(weights_gb=float(gb), egress_gb_per_image=egress)
+        if egress_gb_per_image is not None:
+            merged = {
+                name: ModelFootprint(fp.weights_gb, float(egress_gb_per_image))
+                for name, fp in merged.items()
+            }
+        return cls(footprints=tuple(sorted(merged.items())), reload_aware=reload_aware)
+
+    # ---------------------------------------------------------------- lookups
+    def footprint_for(self, name: str) -> ModelFootprint:
+        """Footprint of a variant (one-line error on miss)."""
+        for vname, footprint in self.footprints:
+            if vname == name:
+                return footprint
+        known = ", ".join(name for name, _ in self.footprints)
+        raise KeyError(f"resources: no footprint declared for {name!r}; declared: {known}")
+
+    def has_footprint(self, name: str) -> bool:
+        """Whether a footprint is declared for ``name``."""
+        return any(vname == name for vname, _ in self.footprints)
+
+    def footprint_or_derived(self, variant) -> ModelFootprint:
+        """Declared footprint, or one derived from the variant's ``memory_gb``.
+
+        Baselines may host derived variants (e.g. a re-sampled heavy model)
+        that no catalog entry names; deriving weights as 80% of the variant's
+        memory requirement keeps the resource model total without forcing
+        every synthetic variant into the catalog.
+        """
+        name = variant.name if hasattr(variant, "name") else str(variant)
+        if self.has_footprint(name):
+            return self.footprint_for(name)
+        return ModelFootprint(
+            weights_gb=max(float(variant.memory_gb) * 0.8, 0.1), egress_gb_per_image=0.001
+        )
+
+    def validate_fleet(self, fleet: FleetSpec, variants: Iterable) -> None:
+        """Check every served variant has a footprint that fits the fleet.
+
+        Called from the single fleet-validation site
+        (:meth:`SystemConfig.__post_init__`); fails with one-line errors
+        naming the offending variant, mirroring the fleet checks.
+        """
+        for variant in variants:
+            name = variant.name if hasattr(variant, "name") else str(variant)
+            footprint = self.footprint_for(name)
+            if not any(
+                footprint.weights_gb <= device.memory_gb + 1e-9 for device in fleet.classes
+            ):
+                raise ValueError(
+                    f"resources: variant {name!r} ({footprint.weights_gb:g} GB) fits no "
+                    f"device class in fleet {fleet.token()!r}"
+                )
+
+    def token(self) -> str:
+        """Canonical, process-independent string form (cache keys, labels)."""
+        parts = ",".join(f"{name}:{fp.token()}" for name, fp in self.footprints)
+        return f"aware={int(self.reload_aware)};{parts}"
+
+    def __str__(self) -> str:
+        return self.token()
+
+
 # --------------------------------------------------------------------------
 # System configuration
 # --------------------------------------------------------------------------
@@ -255,6 +426,9 @@ class SystemConfig:
         The typed device fleet.  ``None`` expands ``num_workers`` into a
         homogeneous baseline-class fleet; when given, it wins and
         ``num_workers`` is overwritten with its total.
+    resources:
+        Multi-resource worker model (:class:`ResourceConfig`).  ``None``
+        keeps the legacy compute + scalar-reload model bit-for-bit.
     """
 
     cascade: CascadeSpec
@@ -268,12 +442,18 @@ class SystemConfig:
     monitoring_window: float = 20.0
     seed: int = 0
     fleet: Optional[FleetSpec] = field(default=None)
+    resources: Optional[ResourceConfig] = field(default=None)
 
     def __post_init__(self) -> None:
         # Fleet validation (including worker counts) lives in FleetSpec.
         if self.fleet is None:
+            warn_num_workers_alias()
             self.fleet = FleetSpec.homogeneous(self.num_workers)
         self.num_workers = self.fleet.total_workers
+        if self.resources is not None:
+            if not isinstance(self.resources, ResourceConfig):
+                raise ValueError("resources must be a ResourceConfig or None")
+            self.resources.validate_fleet(self.fleet, self.cascade.variants)
         if self.slo is None:
             self.slo = self.cascade.slo
         if self.slo <= 0:

@@ -147,6 +147,7 @@ class Controller(Actor):
             slo_violations_in_window=violations,
             completions_in_window=completions,
             current_plan=self.current_plan,
+            resources=self.config.resources,
         )
 
     # -------------------------------------------------------------- applying
@@ -205,6 +206,7 @@ class Controller(Actor):
         for worker in heavy_pool:
             worker.set_variant(heavy_variant, None)
             worker.set_batch_size(plan.heavy_batch)
+        self._apply_residency(plan)
 
         self.load_balancer.set_pools(light_pool, heavy_pool)
         self.load_balancer.set_threshold(plan.threshold)
@@ -230,3 +232,27 @@ class Controller(Actor):
                 feasible=plan.feasible,
             )
         )
+
+    def _apply_residency(self, plan: AllocationPlan) -> None:
+        """Push the plan's residency decision down to the workers.
+
+        Each device class's workers pin the variants the allocator decided
+        should stay resident there (co-placed light+heavy, or carried-over
+        pins); missing variants prefetch over the worker's transfer channel.
+        Plans without a residency decision (legacy or reload-oblivious
+        policies) leave worker residency to pure LRU.
+        """
+        if plan.residency is None:
+            return
+        for device, _count in self.active_fleet.devices:
+            names = plan.residency.get(device.name)
+            if names is None:
+                continue
+            variants = []
+            for name in names:
+                try:
+                    variants.append(self.repository.get_variant(name))
+                except KeyError:
+                    continue
+            for worker in self._workers_by_class.get(device.name, []):
+                worker.pin_residency(variants)

@@ -111,6 +111,11 @@ class EpochSnapshot:
     #: the Controller's active fleet is shrunk mid-run, e.g. a device-class
     #: failure scenario).
     fleet: str = ""
+    #: Canonical token of the residency the epoch's plan pins, e.g.
+    #: ``"a100:sd-turbo+sd-v1.5"`` — empty for legacy / reload-oblivious
+    #: plans.  Deterministic (class and variant order are canonical), so it
+    #: participates in byte-identity checks like ``fleet``.
+    residency: str = ""
 
 
 class ReplanController(Actor):
@@ -234,6 +239,18 @@ class ReplanController(Actor):
                 warm_started=warm_started,
                 solver_time_s=solver_time_s,
                 fleet=controller.active_fleet.token(),
+                residency=self._residency_token(controller.current_plan),
             )
         )
         self.sim.schedule(config.epoch, self._epoch_tick, name="replan-epoch")
+
+    @staticmethod
+    def _residency_token(plan) -> str:
+        """Canonical token of a plan's pinned residency (empty when none)."""
+        if plan is None or plan.residency is None:
+            return ""
+        return ";".join(
+            f"{cname}:{'+'.join(names)}"
+            for cname, names in sorted(plan.residency.items())
+            if names
+        )

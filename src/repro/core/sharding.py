@@ -42,6 +42,7 @@ import dataclasses
 import multiprocessing
 import os
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -127,6 +128,13 @@ class RegionStats:
     feature_stats: GaussianStats
     latency_moments: StreamingMoments
     p99: float
+    #: Event-loop telemetry: events this region's simulator has fired so far
+    #: (deterministic) and wall-clock seconds its shard spent inside
+    #: ``advance`` (timing only).  Neither ever enters merged or cached
+    #: summaries — ``_merged_live_summary`` ignores both, so byte-identity
+    #: across shard counts is untouched.
+    events_fired: int = 0
+    advance_seconds: float = 0.0
 
 
 @dataclass
@@ -161,6 +169,8 @@ class RegionRuntime:
         self.runtime: SystemRuntime = system.prepare()
         self._feature_dim = system.dataset.real_features.shape[1]
         self._chunks: List[ColumnStore] = []
+        #: Wall-clock seconds spent inside ``advance`` (shard telemetry).
+        self.advance_seconds = 0.0
         self.runtime.start()
 
     def _drain_records(self) -> None:
@@ -172,7 +182,9 @@ class RegionRuntime:
     def run_epoch(self, queries: Sequence[Query], barrier: float) -> RegionStats:
         """Inject one epoch's routed queries, advance to the barrier."""
         self.runtime.inject(queries)
+        tick = time.perf_counter()
         self.runtime.advance(barrier)
+        self.advance_seconds += time.perf_counter() - tick
         self._drain_records()
         return self.stats()
 
@@ -192,6 +204,8 @@ class RegionRuntime:
             ),
             latency_moments=StreamingMoments().merge(collector.latency_moments),
             p99=collector.latency_p99.value,
+            events_fired=self.runtime.sim.events_fired,
+            advance_seconds=self.advance_seconds,
         )
 
     def finish(self) -> RegionResult:
@@ -369,6 +383,14 @@ class ShardSupervisor:
     region_results: Dict[str, SimulationResult] = field(default_factory=dict)
     #: Queries routed away from their origin region in the last run.
     spilled_queries: int = 0
+    #: Per-region event-loop telemetry from the last run (canonical order):
+    #: ``{region: {"events_fired": ..., "advance_seconds": ...}}``.  Wall
+    #: clock lives only here and in :attr:`barrier_seconds` — never in the
+    #: merged summaries, which must stay byte-identical across shard counts.
+    shard_timing: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Wall-clock seconds the supervisor spent waiting at epoch barriers
+    #: (collecting every shard's stats) in the last run.
+    barrier_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -503,6 +525,8 @@ class ShardSupervisor:
             rtt_penalty=self.rtt_penalty,
         )
         self.live_summaries = []
+        self.shard_timing = {}
+        self.barrier_seconds = 0.0
         try:
             cursor = 0
             for barrier in self._barriers(horizon):
@@ -514,8 +538,17 @@ class ShardSupervisor:
                 for shard, owned in zip(shards, assignment):
                     shard.begin_epoch(barrier, {name: routed[name] for name in owned})
                 barrier_stats: Dict[str, RegionStats] = {}
+                tick = time.perf_counter()
                 for shard in shards:
                     barrier_stats.update(shard.collect_stats())
+                self.barrier_seconds += time.perf_counter() - tick
+                self.shard_timing = {
+                    name: {
+                        "events_fired": float(barrier_stats[name].events_fired),
+                        "advance_seconds": barrier_stats[name].advance_seconds,
+                    }
+                    for name in names
+                }
                 for name in names:
                     stats = barrier_stats[name]
                     router.observe(name, stats.completed, stats.dropped)

@@ -12,13 +12,20 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 
-from repro.core.config import FleetSpec, RoutingMode, SystemConfig
+from repro.core.config import (
+    DEFAULT_DEVICE_CLASS,
+    FleetSpec,
+    ResourceConfig,
+    RoutingMode,
+    SystemConfig,
+)
 from repro.core.controller import Controller
 from repro.core.load_balancer import LoadBalancer
 from repro.core.policies import AllocationPolicy, make_diffserve_policy
 from repro.core.query import Query
 from repro.core.replanner import ReplanConfig, ReplanController
 from repro.core.repository import ModelRepository
+from repro.core.resources import BandwidthChannel, ResidencySet, WorkerResources
 from repro.core.results import ResultCollector, SimulationResult
 from repro.core.worker import Worker
 from repro.discriminators.base import Discriminator
@@ -211,6 +218,20 @@ class ServingSimulation:
         workers = []
         for device, count in self.config.fleet.devices:
             for _ in range(count):
+                resources = None
+                if self.config.resources is not None:
+                    # Each device owns its transfer channel and residency set
+                    # (the per-device-class transfer_gbps/memory_gb budgets).
+                    spec = device if device is not None else DEFAULT_DEVICE_CLASS
+                    resources = WorkerResources(
+                        config=self.config.resources,
+                        channel=BandwidthChannel(
+                            sim,
+                            capacity_gbps=spec.transfer_gbps,
+                            name=f"worker-{len(workers)}-xfer",
+                        ),
+                        residency=ResidencySet(capacity_gb=spec.memory_gb),
+                    )
                 workers.append(
                     Worker(
                         sim,
@@ -223,6 +244,7 @@ class ServingSimulation:
                         drop_late=self.config.drop_late_queries,
                         reload_latency=self.config.worker_reload_latency,
                         device=device,
+                        resources=resources,
                     )
                 )
 
@@ -310,6 +332,7 @@ def build_diffserve_system(
     static_threshold: float = 0.5,
     replan_epoch: Optional[float] = None,
     replan_policy: Optional[str] = None,
+    resources: Optional[ResourceConfig] = None,
 ) -> ServingSimulation:
     """Build a ready-to-run DiffServe system for a named cascade.
 
@@ -328,6 +351,12 @@ def build_diffserve_system(
     ``"periodic"`` when only one of the two is given (see
     :class:`~repro.core.replanner.ReplanConfig`).  Re-planning systems also
     enable the allocator's exhaustive fallback for small clusters.
+
+    ``resources`` attaches the multi-resource worker model
+    (:class:`~repro.core.config.ResourceConfig`): residency-gated reloads over
+    shared transfer bandwidth, result egress, and (when ``reload_aware``)
+    reload-penalised, co-placement-pinning MILP plans.  ``None`` keeps the
+    legacy model bit-for-bit.
     """
     from repro.models.dataset import load_dataset
     from repro.models.zoo import get_cascade
@@ -353,6 +382,7 @@ def build_diffserve_system(
         control_period=control_period,
         over_provision=over_provision,
         seed=seed,
+        resources=resources,
     )
     replan = None
     if replan_epoch is not None or replan_policy is not None:

@@ -4,6 +4,19 @@ Each worker executes its hosted model variant on the queries routed to it and
 kept in its local queue (Section 3.1).  Workers hosting the lightweight model
 also run the discriminator on their outputs.  The batch size, hosted variant,
 and (for light workers) the confidence threshold are set by the Controller.
+
+Two execution models coexist:
+
+* **Legacy** (``resources=None``, the default): compute plus a constant
+  scaled reload delay — byte-for-byte the pre-refactor behaviour.
+* **Multi-resource** (a :class:`~repro.core.resources.WorkerResources` is
+  attached): the worker runs a resident → transferring → computing → sending
+  stage machine.  ``set_variant`` is free when the target's weights are
+  already resident (:class:`~repro.core.resources.ResidencySet`), otherwise
+  the weights move over the device's shared
+  :class:`~repro.core.resources.BandwidthChannel`; finished batches ship
+  their results through the same channel as a small sending stage, so a
+  reload landing mid-stream contends with result egress and both slow down.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from typing import Callable, Deque, List, Optional
 
 from repro.core.config import DeviceClass
 from repro.core.query import Query
+from repro.core.resources import WorkerResources
 from repro.discriminators.base import Discriminator
 from repro.models.generation import GeneratedImage, ImageGenerator
 from repro.models.profiles import ProfiledTable
@@ -45,6 +59,12 @@ class WorkerStats:
     drops: int = 0
     busy_time: float = 0.0
     batches: int = 0
+    #: Multi-resource model only: reloads that found the target resident
+    #: (zero transfer) vs. reloads that moved weights, and the stall time
+    #: spent blocked on weight transfers.
+    resident_hits: int = 0
+    weight_reloads: int = 0
+    reload_stall_time: float = 0.0
 
     def reset(self) -> None:
         """Clear the per-window counters."""
@@ -53,6 +73,9 @@ class WorkerStats:
         self.drops = 0
         self.busy_time = 0.0
         self.batches = 0
+        self.resident_hits = 0
+        self.weight_reloads = 0
+        self.reload_stall_time = 0.0
 
 
 class Worker(Actor):
@@ -78,6 +101,7 @@ class Worker(Actor):
         drop_late: bool = True,
         reload_latency: float = 0.5,
         device: Optional[DeviceClass] = None,
+        resources: Optional[WorkerResources] = None,
         on_complete: Optional[Callable[[WorkItem, GeneratedImage, Optional[float]], None]] = None,
         on_drop: Optional[Callable[[WorkItem], None]] = None,
     ) -> None:
@@ -93,16 +117,26 @@ class Worker(Actor):
         #: latency and model reloads scale with the class.
         self.device = device
         self.reload_latency = reload_latency * (device.reload_factor if device else 1.0)
+        #: Multi-resource state (``None`` = the legacy reload model).
+        self.resources = resources
         self.on_complete = on_complete
         self.on_drop = on_drop
 
         self.queue: Deque[WorkItem] = deque()
         self.busy = False
         self._dispatching = False
+        #: Variant the worker is blocked on while its weights transfer in.
+        self._reload_pending: Optional[str] = None
+        self._reload_started_at = 0.0
         self.stats = WorkerStats()
         self.latency_profile = variant_profile(variant, device)
         self.profiled = ProfiledTable(profile=self.latency_profile)
         self._rng = sim.rng.spawn("worker-latency", worker_id)
+        if self.resources is not None:
+            # The initially hosted variant is pre-staged (zero transfer),
+            # matching the legacy model's free initial assignment.
+            footprint = self.resources.config.footprint_or_derived(variant)
+            self.resources.residency.admit(variant.name, footprint.weights_gb)
 
     # ------------------------------------------------------------ properties
     @property
@@ -132,23 +166,105 @@ class Worker(Actor):
     def set_variant(
         self, variant: ModelVariant, discriminator: Optional[Discriminator] = None
     ) -> None:
-        """Switch the hosted model variant (incurring a reload delay if it changes)."""
+        """Switch the hosted model variant.
+
+        Legacy model: a constant reload delay (scaled by the device class)
+        whenever the variant changes.  Multi-resource model: free when the
+        target's weights are already resident, otherwise the worker blocks
+        while the weights cross the shared transfer channel — so the cost
+        depends on what else (egress, prefetches) is on the wire.
+        """
         changed = variant.name != self.variant.name
         self.variant = variant
         self.discriminator = discriminator
-        if changed:
-            self.latency_profile = variant_profile(variant, self.device)
-            self.profiled = ProfiledTable(profile=self.latency_profile)
+        if not changed:
+            if self.resources is not None:
+                self.resources.residency.touch(variant.name)
+            return
+        self.latency_profile = variant_profile(variant, self.device)
+        self.profiled = ProfiledTable(profile=self.latency_profile)
+        if self.resources is None:
             if self.reload_latency > 0:
                 # Block the worker for the model reload.
                 self.busy = True
                 self.sim.schedule(
                     self.reload_latency, self._finish_reload, name=f"{self.name}-reload"
                 )
+            return
+        # ----------------------------------------------- multi-resource path
+        if self.resources.ready(variant.name):
+            # Resident weights: reconfiguration costs zero transfer (the
+            # reload-idempotence / co-placement fast path).
+            self.resources.residency.touch(variant.name)
+            self.stats.resident_hits += 1
+            if self._reload_pending is not None:
+                # A previous reload is no longer the target; unblock now
+                # (its transfer keeps running as a background prefetch).
+                self._reload_pending = None
+                self.stats.reload_stall_time += self.now - self._reload_started_at
+                self.busy = False
+                self._maybe_start_batch()
+            return
+        self.stats.weight_reloads += 1
+        if self._reload_pending is None:
+            self._reload_started_at = self.now
+        self._reload_pending = variant.name
+        self.busy = True
+        self._start_weight_load(variant)
 
     def _finish_reload(self) -> None:
         self.busy = False
         self._maybe_start_batch()
+
+    # ------------------------------------------------- multi-resource stages
+    def _start_weight_load(self, variant: ModelVariant) -> None:
+        """Begin moving ``variant``'s weights in (no-op if resident/loading)."""
+        res = self.resources
+        assert res is not None
+        name = variant.name
+        if name in res.loading or res.residency.contains(name):
+            return
+        footprint = res.config.footprint_or_derived(variant)
+        protected = [self.variant.name]
+        if self._reload_pending is not None:
+            protected.append(self._reload_pending)
+        evicted = res.residency.admit(name, footprint.weights_gb, active=protected)
+        for victim in evicted:
+            # An evicted victim may itself have been mid-transfer (a stale
+            # prefetch); abort it so the channel frees its share.
+            transfer = res.loading.pop(victim, None)
+            if transfer is not None:
+                res.channel.cancel(transfer)
+        res.loading[name] = res.channel.submit(
+            footprint.weights_gb,
+            lambda: self._weights_loaded(name),
+            name=f"{self.name}-load-{name}",
+        )
+
+    def _weights_loaded(self, name: str) -> None:
+        res = self.resources
+        assert res is not None
+        res.loading.pop(name, None)
+        if self._reload_pending == name:
+            self._reload_pending = None
+            self.stats.reload_stall_time += self.now - self._reload_started_at
+            self.busy = False
+            self._maybe_start_batch()
+
+    def pin_residency(self, variants: List[ModelVariant]) -> None:
+        """Pin plan residency: keep ``variants`` resident, prefetching misses.
+
+        Pinned variants survive LRU eviction and are prefetched over the
+        transfer channel in the background (contending with egress), so a
+        later ``set_variant`` to any of them is free.  No-op in the legacy
+        model.
+        """
+        if self.resources is None:
+            return
+        self.resources.residency.pin([v.name for v in variants])
+        for variant in variants:
+            if not self.resources.ready(variant.name):
+                self._start_weight_load(variant)
 
     # -------------------------------------------------------------- data path
     def enqueue(self, item: WorkItem) -> None:
@@ -214,12 +330,27 @@ class Worker(Actor):
             confidences = self.discriminator.confidence_batch(images)
         else:
             confidences = [None] * len(batch)
+        if self.resources is not None:
+            # Sending stage: results leave through the transfer channel,
+            # sharing bandwidth with any in-flight weight loads.  The worker
+            # is free to start its next batch while results stream out.
+            footprint = self.resources.config.footprint_or_derived(self.variant)
+            egress_gb = footprint.egress_gb_per_image * len(batch)
+            self.resources.channel.submit(
+                egress_gb,
+                lambda: self._deliver_batch(batch, images, confidences),
+                name=f"{self.name}-send",
+            )
+        else:
+            self._deliver_batch(batch, images, confidences)
+        self._maybe_start_batch()
+
+    def _deliver_batch(self, batch, images, confidences) -> None:
         for item, image, confidence in zip(batch, images, confidences):
             self.stats.completions += 1
             if self.on_complete is not None:
                 conf = float(confidence) if confidence is not None else None
                 self.on_complete(item, image, conf)
-        self._maybe_start_batch()
 
     # -------------------------------------------------------------- lifecycle
     def collect_stats(self) -> WorkerStats:

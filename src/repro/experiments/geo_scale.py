@@ -101,6 +101,65 @@ def run_geo_scale(
     return result
 
 
+def shard_timing_report(
+    cascade_name: str = "sdturbo",
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    topology: str = "us-eu",
+    workload: str = "diurnal",
+    shards: int = 1,
+    duration: float = 60.0,
+) -> str:
+    """Per-shard event-loop timing table from one direct (uncached) run.
+
+    Wall-clock telemetry must never enter the runner's cached summaries — a
+    cache hit would replay a stale machine's timings and break byte-identity
+    — so this report drives a :class:`~repro.core.sharding.ShardSupervisor`
+    directly and reads its :attr:`shard_timing` / :attr:`barrier_seconds`,
+    which exist only on the live supervisor object.
+    """
+    from repro.core.geo import get_topology
+    from repro.core.sharding import ShardSupervisor
+    from repro.core.system import build_diffserve_system
+    from repro.workloads import cascade_qps_range, make_workload
+
+    topo = get_topology(topology)
+    template = build_diffserve_system(
+        cascade_name,
+        num_workers=scale.num_workers,
+        dataset_size=scale.dataset_size,
+        seed=scale.seed,
+    )
+    trace = make_workload(
+        workload,
+        duration=min(duration, scale.trace_duration),
+        qps_range=cascade_qps_range(cascade_name, topo.total_workers),
+        seed=scale.seed,
+    )
+    supervisor = ShardSupervisor(template=template, topology=topo, shards=shards)
+    supervisor.run(trace)
+    rows: List[list] = []
+    for region, timing in supervisor.shard_timing.items():
+        events = timing["events_fired"]
+        seconds = timing["advance_seconds"]
+        rows.append(
+            [
+                region,
+                int(events),
+                seconds,
+                events / seconds if seconds > 0 else float("inf"),
+            ]
+        )
+    return "\n".join(
+        [
+            f"Shard event-loop timing — topology={topology} shards={shards} "
+            f"(barrier wait {supervisor.barrier_seconds:.3f}s; "
+            "wall-clock telemetry only, never cached)",
+            format_table(["region", "events", "advance (s)", "events/s"], rows),
+        ]
+    )
+
+
 def main(scale: ExperimentScale = BENCH_SCALE) -> str:
     """Run the geo-scale study and print the per-topology table."""
     result = run_geo_scale(scale=scale)
@@ -136,6 +195,8 @@ def main(scale: ExperimentScale = BENCH_SCALE) -> str:
                 ],
                 rows,
             ),
+            "",
+            shard_timing_report(scale=scale),
         ]
     )
     print(output)

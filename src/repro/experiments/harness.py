@@ -141,6 +141,7 @@ def build_comparison_systems(
     replan_epoch: Optional[float] = None,
     replan_policy: Optional[str] = None,
     fleet=None,
+    resources=None,
 ) -> Dict[str, ServingSimulation]:
     """Instantiate the requested systems with shared dataset/discriminator.
 
@@ -152,12 +153,15 @@ def build_comparison_systems(
     :class:`~repro.core.replanner.ReplanConfig`).  ``fleet`` (a
     :class:`~repro.core.config.FleetSpec`) replaces the homogeneous
     ``scale.num_workers`` cluster for every system in the cell, so all
-    systems compete on identical hardware.
+    systems compete on identical hardware.  ``resources`` (a
+    :class:`~repro.core.config.ResourceConfig`) attaches the multi-resource
+    worker model — memory residency, transfer bandwidth, result egress — to
+    every system; ``None`` keeps the legacy compute-only execution model.
     """
     if dataset is None or discriminator is None:
         _, dataset, discriminator = shared_components(cascade_name, scale)
     over = {} if over_provision is None else {"over_provision": over_provision}
-    cluster = {"num_workers": scale.num_workers, "fleet": fleet}
+    cluster = {"num_workers": scale.num_workers, "fleet": fleet, "resources": resources}
     built: Dict[str, ServingSimulation] = {}
     for name in systems:
         if name == "clipper-light":

@@ -126,6 +126,39 @@ class LatencyProfile:
         )
 
 
+@dataclass(frozen=True)
+class ModelFootprint:
+    """Memory and transfer footprint of one model variant.
+
+    The multi-resource worker model tracks three resources per device —
+    memory occupancy, weight-transfer bandwidth, and result egress.  A
+    footprint declares how much of each a variant consumes: ``weights_gb``
+    is both the device memory a resident copy occupies and the bytes moved
+    over the transfer channel when the variant is loaded, and
+    ``egress_gb_per_image`` is the result payload shipped per generated
+    image through the sending stage.
+    """
+
+    weights_gb: float
+    egress_gb_per_image: float = 0.003
+
+    def __post_init__(self) -> None:
+        if self.weights_gb <= 0:
+            raise ValueError("footprint weights_gb must be positive")
+        if self.egress_gb_per_image < 0:
+            raise ValueError("footprint egress_gb_per_image must be non-negative")
+
+    def transfer_seconds(self, transfer_gbps: float) -> float:
+        """Time to move the weights over a channel of ``transfer_gbps`` GB/s."""
+        if transfer_gbps <= 0:
+            raise ValueError("transfer_gbps must be positive")
+        return self.weights_gb / transfer_gbps
+
+    def token(self) -> str:
+        """Canonical string form (cache keys)."""
+        return f"{self.weights_gb:g}/{self.egress_gb_per_image:g}"
+
+
 @dataclass
 class ProfiledTable:
     """An empirical latency table measured online, refined via profiling updates.

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
-from repro.models.profiles import LatencyProfile
+from repro.models.profiles import LatencyProfile, ModelFootprint
 from repro.models.variants import ModelVariant, QualityModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -207,6 +207,40 @@ def get_variant(name: str) -> ModelVariant:
     except KeyError:
         known = ", ".join(sorted(MODEL_ZOO))
         raise KeyError(f"unknown model variant {name!r}; known variants: {known}") from None
+
+
+# --------------------------------------------------------------------------
+# Model footprints (multi-resource worker model)
+# --------------------------------------------------------------------------
+
+#: Result payload per generated image (GB): a compressed 512x512 RGB sample
+#: is ~1 MB; 1024x1024 SDXL outputs are ~4x that.
+_EGRESS_512 = 0.001
+_EGRESS_1024 = 0.004
+
+#: Default footprint catalog.  ``weights_gb`` is the fp16 checkpoint size that
+#: actually crosses the transfer channel on a reload — smaller than each
+#: variant's ``memory_gb`` (which also covers activations and the KV/latent
+#: working set and keeps gating residency).  Egress scales with resolution.
+MODEL_FOOTPRINTS: Dict[str, ModelFootprint] = {
+    "sd-turbo": ModelFootprint(weights_gb=5.0, egress_gb_per_image=_EGRESS_512),
+    "sdxs": ModelFootprint(weights_gb=3.0, egress_gb_per_image=_EGRESS_512),
+    "sd-v1.5": ModelFootprint(weights_gb=8.0, egress_gb_per_image=_EGRESS_512),
+    "sd-v1.5-dpms": ModelFootprint(weights_gb=8.0, egress_gb_per_image=_EGRESS_512),
+    "sdxl-turbo": ModelFootprint(weights_gb=10.0, egress_gb_per_image=_EGRESS_512),
+    "tiny-sd-dpms": ModelFootprint(weights_gb=3.0, egress_gb_per_image=_EGRESS_512),
+    "sdxl-lightning": ModelFootprint(weights_gb=13.0, egress_gb_per_image=_EGRESS_1024),
+    "sdxl": ModelFootprint(weights_gb=19.0, egress_gb_per_image=_EGRESS_1024),
+}
+
+
+def variant_footprint(name: str) -> ModelFootprint:
+    """Catalog footprint for a variant (one-line error on miss)."""
+    try:
+        return MODEL_FOOTPRINTS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_FOOTPRINTS))
+        raise KeyError(f"no footprint for variant {name!r}; known footprints: {known}") from None
 
 
 # --------------------------------------------------------------------------

@@ -153,6 +153,7 @@ def run_cell_results(
         discriminator=discriminator,
         systems=spec.systems,
         fleet=spec.resolve_fleet(),
+        resources=spec.resolve_resources(),
         **spec.params_dict(),
     )
     topology = spec.resolve_geo()

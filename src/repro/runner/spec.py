@@ -32,7 +32,10 @@ from repro.experiments.harness import ExperimentScale
 #: v6: sharded geo simulation — ``geo`` / ``shards`` became grid dimensions
 #: and geo cells run through the epoch-synchronous shard supervisor
 #: (latency-aware routing, per-region seeds, merged columnar results).
-CACHE_SCHEMA_VERSION = 6
+#: v7: multi-resource worker model — ``resources`` became a grid dimension
+#: and resource-enabled cells execute the residency/transfer/egress stage
+#: machine (state-dependent reload costs, reload-aware MILP objective).
+CACHE_SCHEMA_VERSION = 7
 
 #: The standard five-system comparison run by most figures.
 DEFAULT_SYSTEMS: Tuple[str, ...] = (
@@ -200,6 +203,12 @@ class ExperimentSpec:
         token deliberately even though sharding never changes results — the
         ``--shards 4`` vs ``--shards 1`` byte-identity gate must compare two
         genuinely computed cells, not one cell and its own cache hit.
+    resources:
+        Multi-resource worker model: ``"default"`` for the built-in footprint
+        catalog or the ``--resources`` JSON form (``None`` keeps the legacy
+        compute-only execution model).  Hashes by the *resolved*
+        :meth:`~repro.core.config.ResourceConfig.token`, so equivalent
+        spellings share a cache entry.
     """
 
     cascade: str
@@ -211,6 +220,7 @@ class ExperimentSpec:
     fleet: Optional[Tuple[Tuple[str, int], ...]] = None
     geo: Optional[str] = None
     shards: int = 1
+    resources: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.systems:
@@ -242,6 +252,9 @@ class ExperimentSpec:
             # malformed JSON fails at spec construction.
             if self.resolve_geo() is None:
                 raise ValueError("geo must be a topology name/JSON, not blank")
+        if self.resources is not None:
+            if self.resolve_resources() is None:
+                raise ValueError("resources must be 'default' or JSON, not blank")
 
     # ------------------------------------------------------------- builders
     def with_params(self, **params: ParamValue) -> "ExperimentSpec":
@@ -279,6 +292,20 @@ class ExperimentSpec:
 
         return parse_geo(self.geo)
 
+    def resolve_resources(self):
+        """The spec's resource model as a
+        :class:`~repro.core.config.ResourceConfig`.
+
+        ``None`` when the cell runs the legacy compute-only execution model.
+        Parsing and validation live in :func:`~repro.cli.parse_resources`
+        (``"default"`` or the ``--resources`` JSON form).
+        """
+        if self.resources is None:
+            return None
+        from repro.cli import parse_resources
+
+        return parse_resources(self.resources)
+
     # ------------------------------------------------------------- identity
     def token(self) -> str:
         """Canonical token string the content hash is derived from."""
@@ -304,6 +331,10 @@ class ExperimentSpec:
             geo = self.resolve_geo()
             parts.append(f"geo({'' if geo is None else geo.token()})")
             parts.append(f"shards={self.shards}")
+        if self.resources is not None:
+            # Hash by the *resolved* canonical token so "default" and its
+            # equivalent JSON spelling share a cache entry.
+            parts.append(f"resources({self.resolve_resources().token()})")
         return "|".join(parts)
 
     @property
@@ -332,6 +363,10 @@ class ExperimentSpec:
             bits.append(geo)
         if self.shards != 1:
             bits.append(f"shards{self.shards}")
+        if self.resources is not None:
+            bits.append(
+                "resources" if self.resources.strip().startswith("{") else self.resources
+            )
         bits.extend(f"{k}={v}" for k, v in self.params)
         return "/".join(bits)
 
@@ -374,6 +409,7 @@ class ExperimentGrid:
         fleets: Sequence[Optional[Dict[str, int]]] = (None,),
         geos: Sequence[Optional[str]] = (None,),
         shards: int = 1,
+        resources: Optional[str] = None,
     ) -> "ExperimentGrid":
         """Cross product of cascades x scales (or seeds) x traces x params x fleets x geos.
 
@@ -383,6 +419,9 @@ class ExperimentGrid:
         ``geos`` entry a topology name / JSON (``None`` keeps the
         single-cluster path).  ``shards`` applies to every cell — it is an
         execution knob, not a studied dimension, so it does not fan out.
+        ``resources`` attaches the multi-resource worker model to every cell
+        (``"default"`` or the ``--resources`` JSON form; ``None`` keeps the
+        legacy execution model).
         """
         if scales is None:
             base = base_scale if base_scale is not None else ExperimentScale()
@@ -400,6 +439,7 @@ class ExperimentGrid:
                 fleet=None if fleet is None else tuple(sorted(fleet.items())),
                 geo=geo,
                 shards=shards,
+                resources=resources,
             )
             for cascade in cascades
             for scale in scales

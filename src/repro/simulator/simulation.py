@@ -62,6 +62,18 @@ class Simulator:
         """Cancel a scheduled event."""
         self.events.cancel(event)
 
+    def reschedule(self, event: Event, time: float) -> Event:
+        """Move a pending timed event to a new absolute time.
+
+        The resource channels reschedule their single release event whenever
+        capacity sharing changes a transfer's completion time; cancelling and
+        re-pushing keeps the queue's ``(time, priority, seq)`` total order —
+        the new event gets a fresh sequence number, so determinism is
+        preserved.  Cancelled or already-fired events simply schedule anew.
+        """
+        self.events.cancel(event)
+        return self.schedule_at(time, event.callback, priority=event.priority, name=event.name)
+
     # ---------------------------------------------------------------- actors
     def register(self, actor: "Actor") -> None:
         """Register an actor so it participates in ``start``/``finish`` hooks."""

@@ -1,0 +1,268 @@
+"""Tests for the multi-resource worker model primitives (core/resources.py).
+
+Covers the processor-shared :class:`BandwidthChannel`, the LRU
+:class:`ResidencySet`, the :class:`ResourceConfig` catalog layer, and the
+property-based resource-conservation invariants the ROADMAP promises:
+
+* the sum of active transfer shares never exceeds the channel capacity, at
+  every event boundary;
+* resident footprints never exceed device memory while ``overcommits == 0``.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DEVICE_CLASSES, ResourceConfig, fleet_from_counts
+from repro.core.resources import BandwidthChannel, ResidencySet, WorkerResources
+from repro.models.zoo import MODEL_FOOTPRINTS, get_cascade, variant_footprint
+from repro.simulator.simulation import Simulator
+
+_SETTINGS = dict(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------- bandwidth channel
+def test_channel_single_transfer_runs_at_full_capacity():
+    sim = Simulator(seed=0)
+    channel = BandwidthChannel(sim, capacity_gbps=16.0)
+    done = []
+    channel.submit(8.0, lambda: done.append(sim.now))
+    assert channel.share_gbps() == 16.0
+    sim.run(until=10.0)
+    assert done == [pytest.approx(0.5)]
+    assert channel.transferred_gb == pytest.approx(8.0)
+    assert channel.completed_transfers == 1
+
+
+def test_channel_concurrent_transfers_share_proportionally():
+    sim = Simulator(seed=0)
+    channel = BandwidthChannel(sim, capacity_gbps=10.0)
+    done = {}
+    channel.submit(10.0, lambda: done.setdefault("a", sim.now), name="a")
+    channel.submit(10.0, lambda: done.setdefault("b", sim.now), name="b")
+    # Two equal transfers at 5 GB/s each: both finish at t=2, not t=1.
+    assert channel.share_gbps() == pytest.approx(5.0)
+    assert channel.total_rate_gbps() == pytest.approx(10.0)
+    sim.run(until=10.0)
+    assert done["a"] == pytest.approx(2.0)
+    assert done["b"] == pytest.approx(2.0)
+
+
+def test_channel_late_joiner_slows_existing_transfer():
+    sim = Simulator(seed=0)
+    channel = BandwidthChannel(sim, capacity_gbps=10.0)
+    done = {}
+    channel.submit(10.0, lambda: done.setdefault("first", sim.now), name="first")
+    sim.schedule(0.5, lambda: channel.submit(5.0, lambda: done.setdefault("late", sim.now)))
+    sim.run(until=10.0)
+    # First: 5 GB alone by t=0.5, then shares 5 GB/s -> +1.0s. Late joiner
+    # finishes at the same instant (both have 5 GB left at t=0.5).
+    assert done["first"] == pytest.approx(1.5)
+    assert done["late"] == pytest.approx(1.5)
+
+
+def test_channel_zero_size_transfer_completes_synchronously():
+    sim = Simulator(seed=0)
+    channel = BandwidthChannel(sim, capacity_gbps=1.0)
+    done = []
+    transfer = channel.submit(0.0, lambda: done.append(True))
+    assert transfer.done and done == [True]
+    assert channel.active_count == 0
+
+
+def test_channel_cancel_aborts_without_callback():
+    sim = Simulator(seed=0)
+    channel = BandwidthChannel(sim, capacity_gbps=4.0)
+    done = []
+    victim = channel.submit(8.0, lambda: done.append("victim"))
+    survivor = channel.submit(8.0, lambda: done.append("survivor"))
+    channel.cancel(victim)
+    sim.run(until=10.0)
+    assert done == ["survivor"]
+    # Survivor ran alone after the cancel: 8 GB at 2 GB/s shared for 0 time.
+    assert survivor.done and not victim.done and victim.cancelled
+
+
+def test_channel_rejects_nonpositive_capacity_and_negative_size():
+    sim = Simulator(seed=0)
+    with pytest.raises(ValueError):
+        BandwidthChannel(sim, capacity_gbps=0.0)
+    channel = BandwidthChannel(sim, capacity_gbps=1.0)
+    with pytest.raises(ValueError):
+        channel.submit(-1.0)
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=12),
+    starts=st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=12),
+    capacity=st.floats(min_value=0.5, max_value=64.0),
+)
+@settings(**_SETTINGS)
+def test_channel_conserves_bandwidth_at_every_event(sizes, starts, capacity):
+    """Property: shares sum to exactly capacity whenever the link is busy.
+
+    Transfers are injected at arbitrary times; after every simulator event
+    the aggregate rate equals the capacity (busy) or zero (idle), and all
+    transfers eventually complete with the full byte count accounted.
+    """
+    sim = Simulator(seed=0)
+    channel = BandwidthChannel(sim, capacity_gbps=capacity)
+    pairs = list(zip(sizes, starts))
+    for size, start in pairs:
+        sim.schedule_at(start, lambda s=size: channel.submit(s))
+    while sim.events:
+        sim.advance(max_events=1)
+        total = channel.total_rate_gbps()
+        assert total <= capacity + 1e-9
+        assert total == pytest.approx(capacity) or channel.active_count == 0
+    assert channel.completed_transfers == len(pairs)
+    assert channel.transferred_gb == pytest.approx(sum(size for size, _ in pairs))
+
+
+# --------------------------------------------------------------- residency set
+def test_residency_admit_touch_and_lru_eviction():
+    rs = ResidencySet(capacity_gb=20.0)
+    rs.admit("a", 8.0)
+    rs.admit("b", 8.0)
+    rs.touch("a")  # b is now LRU
+    evicted = rs.admit("c", 8.0)
+    assert evicted == ["b"]
+    assert rs.resident_names() == ["a", "c"]
+    assert rs.occupied_gb == pytest.approx(16.0)
+    assert rs.evictions == 1 and rs.overcommits == 0
+
+
+def test_residency_pinned_variants_survive_unpinned_eviction():
+    rs = ResidencySet(capacity_gb=20.0)
+    rs.admit("pinned", 8.0)
+    rs.admit("lru", 8.0)
+    rs.pin(["pinned"])
+    rs.touch("lru")  # pinned is LRU, but protected from the first pass
+    evicted = rs.admit("new", 8.0)
+    assert evicted == ["lru"]
+    assert rs.contains("pinned")
+
+
+def test_residency_overcommits_instead_of_crashing():
+    rs = ResidencySet(capacity_gb=10.0)
+    rs.admit("running", 6.0)
+    evicted = rs.admit("incoming", 8.0, active=["running"])
+    assert evicted == []
+    assert rs.overcommits == 1
+    assert rs.occupied_gb == pytest.approx(14.0)
+
+
+def test_residency_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        ResidencySet(capacity_gb=0.0)
+    rs = ResidencySet(capacity_gb=1.0)
+    with pytest.raises(ValueError):
+        rs.admit("x", 0.0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["admit", "touch", "remove", "pin"]),
+            st.integers(min_value=0, max_value=7),
+            st.floats(min_value=0.5, max_value=12.0),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    capacity=st.floats(min_value=4.0, max_value=32.0),
+)
+@settings(**_SETTINGS)
+def test_residency_conserves_memory_unless_overcommitted(ops, capacity):
+    """Property: occupied footprints fit the capacity while overcommits == 0.
+
+    A random op sequence (admissions with no ``active`` protection, touches,
+    removals, re-pins) must keep ``occupied_gb <= capacity_gb`` at every step
+    until the set records its first overcommit.
+    """
+    rs = ResidencySet(capacity_gb=capacity)
+    for op, idx, size in ops:
+        name = f"v{idx}"
+        if op == "admit":
+            rs.admit(name, size)
+        elif op == "touch":
+            rs.touch(name)
+        elif op == "remove":
+            rs.remove(name)
+        else:
+            rs.pin([name])
+        if rs.overcommits == 0:
+            assert rs.occupied_gb <= rs.capacity_gb + 1e-9
+        # Pinned-but-evicted is allowed (overcommit fallback), but the
+        # resident map must never hold duplicates or negative sizes.
+        assert all(weight > 0 for weight in rs._resident.values())
+
+
+# --------------------------------------------------------------- config layer
+def test_resource_config_default_matches_catalog():
+    rc = ResourceConfig.default()
+    assert rc.reload_aware
+    for name in MODEL_FOOTPRINTS:
+        assert rc.footprint_for(name).weights_gb == variant_footprint(name).weights_gb
+
+
+def test_resource_config_from_weights_merges_catalog():
+    rc = ResourceConfig.from_weights({"sd-turbo": 30.0, "sd-v1.5": 60.0})
+    assert rc.footprint_for("sd-turbo").weights_gb == 30.0
+    assert rc.footprint_for("sd-v1.5").weights_gb == 60.0
+    # Untouched catalog entries ride along.
+    assert rc.has_footprint("sdxl")
+    with pytest.raises(KeyError):
+        rc.footprint_for("not-a-variant")
+
+
+def test_resource_config_token_is_canonical():
+    a = ResourceConfig.from_weights({"sd-v1.5": 60.0, "sd-turbo": 30.0})
+    b = ResourceConfig.from_weights({"sd-turbo": 30.0, "sd-v1.5": 60.0})
+    assert a.token() == b.token()
+    assert a.token() != ResourceConfig.default().token()
+    assert ResourceConfig.default().token() != ResourceConfig.default(
+        reload_aware=False
+    ).token()
+
+
+def test_resource_config_footprint_or_derived_fallback():
+    rc = ResourceConfig.default()
+    cascade = get_cascade("sdturbo")
+    known = rc.footprint_or_derived(cascade.light)
+    assert known.weights_gb == variant_footprint(cascade.light.name).weights_gb
+
+    class FakeVariant:
+        name = "derived-variant"
+        memory_gb = 10.0
+
+    derived = rc.footprint_or_derived(FakeVariant())
+    assert derived.weights_gb == pytest.approx(8.0)
+
+
+def test_resource_config_validate_fleet_flags_unhostable_variant():
+    rc = ResourceConfig.from_weights({"sd-turbo": 99.0})
+    fleet = fleet_from_counts({"a100": 2})
+    cascade = get_cascade("sdturbo")
+    with pytest.raises(ValueError, match="sd-turbo"):
+        rc.validate_fleet(fleet, cascade.variants)
+
+
+def test_worker_resources_ready_requires_completed_transfer():
+    sim = Simulator(seed=0)
+    rc = ResourceConfig.default()
+    res = WorkerResources(
+        config=rc,
+        channel=BandwidthChannel(sim, capacity_gbps=16.0),
+        residency=ResidencySet(capacity_gb=80.0),
+    )
+    res.residency.admit("sd-turbo", 5.0)
+    assert res.ready("sd-turbo")
+    res.residency.admit("sd-v1.5", 8.0)
+    res.loading["sd-v1.5"] = res.channel.submit(8.0, None)
+    assert not res.ready("sd-v1.5")  # mid-transfer: memory held, not usable
+
+
+def test_device_classes_declare_transfer_bandwidth():
+    for name, device in DEVICE_CLASSES.items():
+        assert device.transfer_gbps > 0, name

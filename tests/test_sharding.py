@@ -340,3 +340,52 @@ def test_supervisor_rejects_bad_configs():
 
 def test_default_shards_is_sane():
     assert 1 <= default_shards() <= 8
+
+
+# ------------------------------------------------------------- shard timing
+@pytest.mark.xdist_group("sharding-determinism")
+def test_supervisor_records_per_shard_timing():
+    """Each region reports event-loop telemetry; none of it leaks into summaries."""
+    supervisor = ShardSupervisor(
+        template=small_system(), topology=two_region_topology(), shards=1
+    )
+    merged = supervisor.run(small_workload())
+    assert set(supervisor.shard_timing) == {"eu", "us"}
+    for timing in supervisor.shard_timing.values():
+        assert timing["events_fired"] > 0
+        assert timing["advance_seconds"] >= 0.0
+    assert supervisor.barrier_seconds >= 0.0
+    # Wall-clock telemetry never enters the merged (cacheable) summary.
+    summary = merged.summary()
+    assert "events_fired" not in summary
+    assert "advance_seconds" not in summary
+
+
+@pytest.mark.xdist_group("sharding-determinism")
+def test_shard_event_counts_are_deterministic_across_shard_counts():
+    """events_fired is simulator state, so it must not depend on the process
+    packing — only advance_seconds (wall clock) may differ."""
+    counts = []
+    for shards in (1, 2):
+        supervisor = ShardSupervisor(
+            template=small_system(), topology=two_region_topology(), shards=shards
+        )
+        supervisor.run(small_workload())
+        counts.append(
+            {name: t["events_fired"] for name, t in supervisor.shard_timing.items()}
+        )
+    assert counts[0] == counts[1]
+
+
+def test_shard_timing_report_renders_region_rows():
+    from repro.experiments.geo_scale import shard_timing_report
+    from repro.experiments.harness import ExperimentScale
+
+    report = shard_timing_report(
+        scale=ExperimentScale(dataset_size=60, trace_duration=20.0, num_workers=4),
+        duration=15.0,
+    )
+    assert "Shard event-loop timing" in report
+    assert "barrier wait" in report
+    for region in ("us", "eu"):
+        assert f"\n{region}" in report or report.count(region)

@@ -1,0 +1,190 @@
+"""Worker stage-machine tests for the multi-resource execution model.
+
+The worker cycles resident -> transferring -> computing -> sending: a reload
+blocks compute while weights cross the shared channel, a resident target is
+free, result egress overlaps the next batch, and plan pins prefetch in the
+background.  Includes the reload-idempotence property the ROADMAP promises:
+re-assigning an already-resident variant moves zero bytes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DEVICE_CLASSES, ResourceConfig
+from repro.core.query import Query
+from repro.core.resources import BandwidthChannel, ResidencySet, WorkerResources
+from repro.core.worker import WorkItem, Worker
+from repro.models.generation import ImageGenerator
+from repro.models.zoo import get_variant
+from repro.simulator.simulation import Simulator
+
+_SETTINGS = dict(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def make_query(query_id=0, arrival=0.0, difficulty=0.3, slo=100.0):
+    return Query(
+        query_id=query_id, arrival_time=arrival, prompt="p", difficulty=difficulty, slo=slo
+    )
+
+
+def make_resourced_worker(sim, variant_name="sd-turbo", *, config=None, device_name="a100", **kw):
+    device = DEVICE_CLASSES[device_name]
+    config = config or ResourceConfig.default()
+    resources = WorkerResources(
+        config=config,
+        channel=BandwidthChannel(sim, capacity_gbps=device.transfer_gbps),
+        residency=ResidencySet(capacity_gb=device.memory_gb),
+    )
+    worker = Worker(
+        sim,
+        worker_id=kw.pop("worker_id", 0),
+        variant=get_variant(variant_name),
+        generator=ImageGenerator(seed=0),
+        device=device,
+        resources=resources,
+        **kw,
+    )
+    return worker, resources
+
+
+def test_initial_variant_is_prestaged_free():
+    sim = Simulator(seed=0)
+    worker, res = make_resourced_worker(sim)
+    assert res.ready("sd-turbo")
+    assert res.channel.transferred_gb == 0.0
+    assert worker.stats.weight_reloads == 0
+
+
+def test_reload_blocks_compute_until_weights_arrive():
+    sim = Simulator(seed=0)
+    worker, res = make_resourced_worker(sim)
+    worker.set_variant(get_variant("sd-v1.5"))
+    # 8 GB over 16 GB/s = 0.5 s of transfer; the worker is blocked meanwhile.
+    assert worker.busy
+    worker.enqueue(WorkItem(query=make_query(), stage="heavy", enqueue_time=0.0))
+    sim.run(until=0.4)
+    assert worker.busy and worker.queue_length == 1  # still transferring
+    sim.run(until=20.0)
+    assert worker.stats.weight_reloads == 1
+    assert worker.stats.reload_stall_time == pytest.approx(0.5)
+    assert worker.stats.completions == 1
+    assert res.channel.transferred_gb >= 8.0
+
+
+def test_resident_variant_reassignment_is_free():
+    sim = Simulator(seed=0)
+    worker, res = make_resourced_worker(sim)
+    worker.set_variant(get_variant("sd-v1.5"))
+    sim.run(until=1.0)  # transfer done; both variants now resident
+    moved = res.channel.transferred_gb
+    worker.set_variant(get_variant("sd-turbo"))
+    assert not worker.busy
+    assert worker.stats.resident_hits == 1
+    assert res.channel.transferred_gb == moved
+
+
+def test_pin_residency_prefetches_in_background():
+    sim = Simulator(seed=0)
+    worker, res = make_resourced_worker(sim)
+    worker.pin_residency([get_variant("sd-turbo"), get_variant("sd-v1.5")])
+    assert not worker.busy  # prefetch does not block compute
+    assert "sd-v1.5" in res.loading
+    sim.run(until=1.0)
+    assert res.ready("sd-v1.5")
+    # The later pool flip is a resident hit, not a reload.
+    worker.set_variant(get_variant("sd-v1.5"))
+    assert worker.stats.weight_reloads == 0
+    assert worker.stats.resident_hits == 1
+
+
+def test_egress_overlaps_next_batch():
+    sim = Simulator(seed=0)
+    completions = []
+    worker, res = make_resourced_worker(
+        sim, on_complete=lambda item, img, conf: completions.append(sim.now)
+    )
+    for i in range(2):
+        worker.enqueue(WorkItem(query=make_query(i), stage="light", enqueue_time=0.0))
+    sim.run(until=50.0)
+    assert len(completions) == 2
+    # Results crossed the channel (egress bytes accounted), and the second
+    # batch computed while the first result streamed out.
+    egress = res.config.footprint_or_derived(worker.variant).egress_gb_per_image
+    assert res.channel.transferred_gb == pytest.approx(2 * egress)
+    assert worker.stats.batches == 2
+
+
+def test_eviction_cancels_stale_prefetch():
+    sim = Simulator(seed=0)
+    # Tight memory: only one of the two checkpoints fits at a time.
+    config = ResourceConfig.from_weights({"sd-turbo": 12.0, "sd-v1.5": 20.0})
+    device = DEVICE_CLASSES["a10g"]  # 24 GB
+    res = WorkerResources(
+        config=config,
+        channel=BandwidthChannel(sim, capacity_gbps=device.transfer_gbps),
+        residency=ResidencySet(capacity_gb=device.memory_gb),
+    )
+    worker = Worker(
+        sim,
+        worker_id=0,
+        variant=get_variant("sd-turbo"),
+        generator=ImageGenerator(seed=0),
+        device=device,
+        resources=res,
+    )
+    worker.set_variant(get_variant("sd-v1.5"))
+    # 12 + 20 GB exceed 24 GB: admitting sd-v1.5 evicts the sd-turbo weights.
+    assert "sd-v1.5" in res.loading
+    stale = res.loading["sd-v1.5"]
+    assert not res.residency.contains("sd-turbo")
+    sim.run(until=0.1)
+    # Flip back before the transfer lands: re-admitting sd-turbo reclaims
+    # the memory held by the half-transferred sd-v1.5 load, which must be
+    # cancelled on the channel (its callback never fires).
+    worker.set_variant(get_variant("sd-turbo"))
+    assert stale.cancelled
+    assert "sd-v1.5" not in res.loading
+    assert not res.residency.contains("sd-v1.5")
+    sim.run(until=30.0)
+    assert not worker.busy
+    assert res.residency.contains("sd-turbo")
+    assert worker.stats.weight_reloads == 2  # both flips paid a transfer
+
+
+def test_legacy_worker_without_resources_uses_scalar_reload():
+    sim = Simulator(seed=0)
+    worker = Worker(
+        sim,
+        worker_id=0,
+        variant=get_variant("sd-turbo"),
+        generator=ImageGenerator(seed=0),
+        reload_latency=0.5,
+    )
+    worker.set_variant(get_variant("sd-v1.5"))
+    assert worker.busy
+    sim.run(until=1.0)
+    assert not worker.busy
+    assert worker.stats.weight_reloads == 0  # legacy path does not count
+
+
+@given(flips=st.lists(st.sampled_from(["sd-turbo", "sd-v1.5"]), min_size=1, max_size=16))
+@settings(**_SETTINGS)
+def test_reload_idempotence_resident_flips_move_zero_bytes(flips):
+    """Property: once both variants are resident, flips transfer nothing.
+
+    An arbitrary flip sequence after both checkpoints landed must keep the
+    channel's byte counter frozen and count only resident hits.
+    """
+    sim = Simulator(seed=0)
+    worker, res = make_resourced_worker(sim)
+    worker.pin_residency([get_variant("sd-turbo"), get_variant("sd-v1.5")])
+    sim.run(until=5.0)
+    assert res.ready("sd-turbo") and res.ready("sd-v1.5")
+    moved = res.channel.transferred_gb
+    reloads = worker.stats.weight_reloads
+    for name in flips:
+        worker.set_variant(get_variant(name))
+        assert not worker.busy
+    assert res.channel.transferred_gb == moved
+    assert worker.stats.weight_reloads == reloads
