@@ -75,6 +75,7 @@ def build_clipper_system(
     slo: Optional[float] = None,
     dataset: Optional[QueryDataset] = None,
     resources: Optional[ResourceConfig] = None,
+    faults=None,
     seed: int = 0,
     dataset_size: int = 1000,
 ) -> ServingSimulation:
@@ -104,4 +105,5 @@ def build_clipper_system(
         policy=ClipperPolicy(variant),
         discriminator=None,
         name=f"clipper-{which}",
+        faults=faults,
     )

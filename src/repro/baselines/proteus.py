@@ -140,6 +140,7 @@ def build_proteus_system(
     slo: Optional[float] = None,
     dataset: Optional[QueryDataset] = None,
     resources: Optional[ResourceConfig] = None,
+    faults=None,
     over_provision: float = 1.1,
     seed: int = 0,
     dataset_size: int = 1000,
@@ -170,4 +171,5 @@ def build_proteus_system(
         policy=policy,
         discriminator=None,
         name="proteus",
+        faults=faults,
     )

@@ -62,6 +62,7 @@ def build_diffserve_static_system(
     discriminator: Optional[Discriminator] = None,
     deferral_profile: Optional[DeferralProfile] = None,
     resources: Optional[ResourceConfig] = None,
+    faults=None,
     over_provision: float = 1.05,
     seed: int = 0,
     dataset_size: int = 1000,
@@ -102,4 +103,5 @@ def build_diffserve_static_system(
         discriminator=discriminator,
         initial_demand=anticipated_peak_qps,
         name="diffserve-static",
+        faults=faults,
     )

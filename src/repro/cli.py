@@ -24,6 +24,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import (
+    chaos,
     contention,
     drift_adaptation,
     fig1_motivation,
@@ -65,6 +66,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "contention": (
         "Reload/inference contention: reload-aware vs. reload-oblivious plans",
         contention.main,
+    ),
+    "chaos": (
+        "Fault injection: self-healing recovery vs. unmitigated faults",
+        chaos.main,
     ),
 }
 
@@ -150,6 +155,19 @@ def build_parser() -> argparse.ArgumentParser:
             "names to checkpoint GB with optional 'reload_aware' (bool) and "
             "'egress_gb_per_image' (number) keys; becomes a cached grid "
             "dimension (omit to keep the legacy execution model)"
+        ),
+    )
+    runner.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "inject a deterministic fault scenario: a catalog name (quiet, "
+            "crash, crash-norecovery, storm, storm-norecovery, revocation, "
+            "solver-timeout, chaos) or a JSON object with a 'faults' list of "
+            "{kind, ...} entries (kinds: crash, revocation, straggler, "
+            "bandwidth, partition, solver-timeout, crash-storm) and an "
+            "optional 'recovery' key (true/false or a config object); becomes "
+            "a cached grid dimension (omit to keep runs fault-free)"
         ),
     )
     runner.add_argument(
@@ -403,6 +421,7 @@ def parse_grid(
     geo: Optional[str] = None,
     shards: int = 1,
     resources: Optional[str] = None,
+    faults: Optional[str] = None,
 ):
     """Build an :class:`~repro.runner.spec.ExperimentGrid` from a ``--grid`` spec.
 
@@ -427,6 +446,9 @@ def parse_grid(
     into that many worker processes — sharding never changes summaries, only
     wall-clock.  ``resources`` (the ``--resources`` flag) attaches the
     multi-resource worker model to every cell as a cached grid dimension.
+    ``faults`` (the ``--faults`` flag) injects the same deterministic fault
+    scenario into every cell as a cached grid dimension, validated eagerly
+    against the fault catalog / JSON schema.
     """
     from repro.runner.spec import DEFAULT_SYSTEMS, ExperimentGrid, TraceSpec
 
@@ -504,6 +526,12 @@ def parse_grid(
         # Same eager-validation rule: bad variant names / malformed JSON fail
         # the parse, not a grid cell.
         parse_resources(resources)
+    if faults is not None:
+        # Eager validation: an unknown plan name / malformed JSON / bad fault
+        # param fails the parse with a one-line error naming the bad key.
+        from repro.faults.plan import parse_faults
+
+        parse_faults(faults)
     return ExperimentGrid.product(
         cascades=cascades,
         scales=scales,
@@ -514,6 +542,7 @@ def parse_grid(
         geos=(geo,),
         shards=shards,
         resources=resources,
+        faults=faults,
     )
 
 
@@ -536,6 +565,7 @@ def run_grid_command(args: argparse.Namespace) -> int:
             geo=args.geo,
             shards=parse_shards(args.shards),
             resources=args.resources,
+            faults=args.faults,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

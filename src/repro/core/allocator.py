@@ -212,6 +212,14 @@ class DiffServeAllocator:
         #: accepted by at least one per-pair solve (False for cold solves or
         #: when every repaired incumbent was rejected as infeasible).
         self.last_warm_start_used = False
+        #: Wall-clock budget per :meth:`plan` call; ``None`` = unlimited.
+        #: The fault injector's solver-timeout fault sets this to ``0.0`` —
+        #: the only value that trips *deterministically* (any elapsed time
+        #: exceeds it), which is what keeps fault runs machine-independent.
+        self.solve_deadline_s: Optional[float] = None
+        #: Whether the most recent :meth:`plan` call hit the deadline (its
+        #: result was a best-effort/infeasible plan, not a real solve).
+        self.last_solve_timed_out = False
 
     # ----------------------------------------------------------------- grids
     def _build_threshold_grid(self, levels: int) -> List[Tuple[float, float]]:
@@ -858,6 +866,7 @@ class DiffServeAllocator:
         max_threshold = max(t for t, _ in self.threshold_grid)
         allocations = self._candidate_allocations(ctx, demand)
         self.last_warm_start_used = False
+        self.last_solve_timed_out = False
         if warm_start is None:
             self.cold_solves += 1
         else:
@@ -871,6 +880,12 @@ class DiffServeAllocator:
         best: Optional[AllocationPlan] = None
         best_classes: Tuple[List[DeviceClass], List[DeviceClass]] = ([], [])
         for b1, b2, light_classes, heavy_classes in allocations:
+            if (
+                self.solve_deadline_s is not None
+                and time.perf_counter() - start >= self.solve_deadline_s
+            ):
+                self.last_solve_timed_out = True
+                break
             if best is not None and best.threshold >= max_threshold:
                 break
             warm_assignment = None

@@ -67,12 +67,21 @@ class Controller(Actor):
         #: control loop below (the Controller still applies plan zero and
         #: keeps its plan-application machinery).
         self.replanner: Optional[object] = None
+        #: Attached by the fault injector when recovery is enabled: a
+        #: :class:`~repro.faults.plan_store.PlanStore` that records every
+        #: feasible plan and supplies a fleet-clamped last-known-good plan
+        #: when a (repair) re-solve comes back infeasible.
+        self.plan_store: Optional[object] = None
+        #: Set (briefly) by the fault injector around repair re-solves so
+        #: :meth:`_resolve_plan` knows an infeasible result is repair-driven
+        #: rather than routine overload.
+        self.repairing: bool = False
 
     # ---------------------------------------------------------------- start
     def start(self) -> None:
         """Apply the initial plan and begin the control loop."""
         ctx = self._build_context()
-        plan = self.policy.plan(ctx)
+        plan = self._resolve_plan(self.policy.plan(ctx))
         self._apply_plan(plan)
         if self.policy.dynamic and self.replanner is None:
             self.sim.schedule(self.config.control_period, self._control_tick, name="control-tick")
@@ -103,9 +112,34 @@ class Controller(Actor):
         re-planner passes the currently applied plan).
         """
         ctx = self._build_context(observed_deferral)
-        plan = self.policy.plan(ctx, warm_start=warm_start)
+        plan = self._resolve_plan(self.policy.plan(ctx, warm_start=warm_start))
         self._apply_plan(plan)
         return plan
+
+    def _resolve_plan(self, plan: AllocationPlan) -> AllocationPlan:
+        """Route a freshly solved plan through the last-known-good store.
+
+        Feasible plans are recorded; infeasible ones (solver timeout, repair
+        re-solve that cannot fit the surviving fleet) degrade to the newest
+        recorded plan clamped to the active fleet — or pass through unchanged
+        when nothing better is known.  No-op without a plan store.
+        """
+        if self.plan_store is None:
+            return plan
+        if plan.feasible:
+            self.plan_store.record(plan, self.active_fleet)
+            return plan
+        # Only *degraded* solves fall back: a repair re-solve that cannot
+        # fit the surviving fleet, or a solve cut short by a fault-injected
+        # deadline.  Routine best-effort plans under overload pass through
+        # unchanged, so a healthy-but-saturated system behaves exactly as
+        # it would without recovery armed.
+        allocator = getattr(self.policy, "allocator", None)
+        timed_out = bool(getattr(allocator, "last_solve_timed_out", False))
+        if not (timed_out or self.repairing):
+            return plan
+        fallback = self.plan_store.recall(self.active_fleet)
+        return fallback if fallback is not None else plan
 
     def set_fleet(self, fleet: FleetSpec) -> None:
         """Shrink/replace the fleet plans are solved against (online failures).
@@ -160,18 +194,26 @@ class Controller(Actor):
         fleets, since workers are constructed grouped per class in the same
         canonical order.
         """
+        # Failed/quarantined workers never receive assignments; the filters
+        # are identity (same list contents, same order) on a healthy fleet,
+        # so legacy runs select byte-identical pools.
         if plan.light_assignment is None and plan.heavy_assignment is None:
-            num_light = min(plan.num_light, len(self.workers))
+            workers = [w for w in self.workers if not w.failed and not w.quarantined]
+            num_light = min(plan.num_light, len(workers))
             return (
-                self.workers[:num_light],
-                self.workers[num_light : num_light + plan.num_heavy],
+                workers[:num_light],
+                workers[num_light : num_light + plan.num_heavy],
             )
         light_pool = []
         heavy_pool = []
         light_assignment = plan.light_assignment or {}
         heavy_assignment = plan.heavy_assignment or {}
         for device, _count in self.active_fleet.devices:
-            group = self._workers_by_class.get(device.name, [])
+            group = [
+                w
+                for w in self._workers_by_class.get(device.name, [])
+                if not w.failed and not w.quarantined
+            ]
             n_light = min(light_assignment.get(device.name, 0), len(group))
             n_heavy = min(heavy_assignment.get(device.name, 0), len(group) - n_light)
             light_pool.extend(group[:n_light])

@@ -296,6 +296,17 @@ class GeoRouter:
         self.loads: Dict[str, RegionLoad] = {r.name: RegionLoad() for r in topology.regions}
         self._capacity = {r.name: max(r.capacity_units, 1e-9) for r in topology.regions}
         self.spilled = 0
+        #: Regions currently cut off by a link partition (fault injection):
+        #: no spilling out of or into a partitioned region.  Updated at epoch
+        #: boundaries by the shard supervisor, keeping sharded == serial.
+        self.partitioned: frozenset = frozenset()
+
+    def set_partitioned(self, regions) -> None:
+        """Replace the set of partitioned regions (epoch-synchronous)."""
+        unknown = sorted(set(regions) - set(self.topology.names))
+        if unknown:
+            raise KeyError(f"unknown partitioned region(s): {', '.join(unknown)}")
+        self.partitioned = frozenset(regions)
 
     # ------------------------------------------------------------ epoch stats
     def observe(self, region: str, completed: int, dropped: int) -> None:
@@ -313,11 +324,17 @@ class GeoRouter:
         regions = self.topology.regions
         target = origin
         spilled = False
-        if len(regions) > 1 and self._normalised_backlog(origin.name) > self.spill_threshold:
+        if (
+            len(regions) > 1
+            and origin.name not in self.partitioned
+            and self._normalised_backlog(origin.name) > self.spill_threshold
+        ):
             best = None
             for region in regions:
                 penalty = 0.0
                 if region.name != origin.name:
+                    if region.name in self.partitioned:
+                        continue  # the link into a partitioned region is down
                     penalty = self.rtt_penalty * (origin.rtt_s + region.rtt_s)
                 score = self._normalised_backlog(region.name) + penalty
                 if best is None or score < best[0]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 
 from repro.core.config import RoutingMode
@@ -87,6 +87,16 @@ class LoadBalancer(Actor):
         self.heavy_batch_estimate = 1
         self.on_response = on_response
         self.on_drop = on_drop
+        #: Retry-with-backoff recovery knobs (set by the fault injector when
+        #: a recovery-enabled plan is attached).  A zero budget keeps the
+        #: legacy behaviour: :meth:`requeue` drops immediately.
+        self.retry_budget = 0
+        self.backoff_base = 0.25
+        self.on_retry: Optional[Callable[[Query], None]] = None
+        self.requeues = 0
+        #: (query_id, delay) per scheduled retry, for accounting tests.
+        self.retry_log: List[Tuple[int, float]] = []
+        self._retries: Dict[int, int] = {}
         self.light_pool: List[Worker] = []
         self.heavy_pool: List[Worker] = []
         self.stats = LoadBalancerStats()
@@ -189,6 +199,41 @@ class LoadBalancer(Actor):
 
     def _on_worker_drop(self, item: WorkItem) -> None:
         self._drop(item.query)
+
+    # ------------------------------------------------------------- recovery
+    def requeue(self, query: Query, stage: str = "light") -> None:
+        """Resubmit a query orphaned by a worker failure.
+
+        Bounded retry with exponential backoff: attempt ``k`` (0-based) waits
+        ``backoff_base * 2**k`` before resubmitting; once the budget is
+        exhausted the query is dropped.  The original :class:`Query` object
+        is reused, so its recorded latency spans first arrival to final
+        completion across every retry.
+        """
+        attempts = self._retries.get(query.query_id, 0)
+        if attempts >= self.retry_budget:
+            self._drop(query)
+            return
+        self._retries[query.query_id] = attempts + 1
+        self.requeues += 1
+        if self.on_retry is not None:
+            self.on_retry(query)
+        delay = self.backoff_base * (2.0**attempts)
+        self.retry_log.append((query.query_id, delay))
+        self.sim.schedule(delay, lambda: self._resubmit(query, stage), name="lb-retry")
+
+    def _resubmit(self, query: Query, stage: str) -> None:
+        if stage == "heavy" and self.heavy_pool:
+            pool = self.heavy_pool
+        elif self.light_pool:
+            pool, stage = self.light_pool, "light"
+        elif self.heavy_pool:
+            pool, stage = self.heavy_pool, "heavy"
+        else:
+            self._drop(query)
+            return
+        worker = self._least_loaded(pool)
+        worker.enqueue(WorkItem(query=query, stage=stage, enqueue_time=self.now))
 
     def _respond(
         self,

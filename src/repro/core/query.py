@@ -75,6 +75,10 @@ class QueryRecord:
     confidence: Optional[float] = None
     deferred: bool = False
     light_latency: Optional[float] = None
+    #: Recovery requeues this query survived before its terminal record
+    #: (0 outside fault-injection runs).  Latency still spans the *first*
+    #: arrival to the final completion.
+    retries: int = 0
 
     @property
     def dropped(self) -> bool:

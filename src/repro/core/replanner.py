@@ -116,6 +116,10 @@ class EpochSnapshot:
     #: plans.  Deterministic (class and variant order are canonical), so it
     #: participates in byte-identity checks like ``fleet``.
     residency: str = ""
+    #: True when the epoch's solve hit the allocator's deadline (fault
+    #: injection: solver timeout) and the applied plan is a degraded
+    #: last-known-good fallback rather than a fresh solution.
+    degraded: bool = False
 
 
 class ReplanController(Actor):
@@ -217,11 +221,14 @@ class ReplanController(Actor):
         replanned = self._should_replan(demand_estimate, violation_ratio)
         warm_started = False
         solver_time_s = 0.0
+        degraded = False
         if replanned:
             warm = controller.current_plan if config.warm_start else None
             plan = controller.replan(observed_deferral=observed_deferral, warm_start=warm)
             warm_started = warm is not None and self._warm_start_accepted()
             solver_time_s = plan.solver_time_s
+            allocator = getattr(controller.policy, "allocator", None)
+            degraded = bool(getattr(allocator, "last_solve_timed_out", False))
             self._last_solved_demand = demand_estimate
             self.replans += 1
         else:
@@ -240,6 +247,7 @@ class ReplanController(Actor):
                 solver_time_s=solver_time_s,
                 fleet=controller.active_fleet.token(),
                 residency=self._residency_token(controller.current_plan),
+                degraded=degraded,
             )
         )
         self.sim.schedule(config.epoch, self._epoch_tick, name="replan-epoch")

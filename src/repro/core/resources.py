@@ -126,6 +126,21 @@ class BandwidthChannel:
             self.active.remove(transfer)
             self._reschedule_release()
 
+    def set_capacity(self, capacity_gbps: float) -> None:
+        """Change the link rate mid-run (fault injection: degradation windows).
+
+        Progress accrued at the old rate is settled first, then the single
+        release event is rescheduled at the new rate, so in-flight transfers
+        simply slow down/speed up from this instant — none are lost.
+        """
+        if capacity_gbps <= 0:
+            raise ValueError("channel capacity_gbps must be positive")
+        if capacity_gbps == self.capacity_gbps:
+            return
+        self._settle()
+        self.capacity_gbps = float(capacity_gbps)
+        self._reschedule_release()
+
     # -------------------------------------------------------------- internals
     def _settle(self) -> None:
         """Account progress accrued since the last state change."""

@@ -58,6 +58,7 @@ class ColumnStore:
     quality: np.ndarray  # float, NaN where unknown
     confidence: np.ndarray  # float, NaN where absent
     deferred: np.ndarray  # bool
+    retries: np.ndarray  # int32, requeues this query survived (0 = none)
     features: np.ndarray  # (n_feat, d) float
     feature_index: np.ndarray  # int, record index of each features row
 
@@ -72,12 +73,14 @@ class ColumnStore:
         quality = np.full(n, np.nan)
         confidence = np.full(n, np.nan)
         deferred = np.zeros(n, dtype=bool)
+        retries = np.zeros(n, dtype=np.int32)
         feats: List[np.ndarray] = []
         feat_idx: List[int] = []
         for i, r in enumerate(records):
             arrival[i] = r.query.arrival_time
             deadline[i] = r.query.deadline
             stage[i] = STAGE_CODES[r.stage]
+            retries[i] = r.retries
             if r.completion_time is not None:
                 completion[i] = r.completion_time
             if r.quality is not None:
@@ -97,6 +100,7 @@ class ColumnStore:
             quality=quality,
             confidence=confidence,
             deferred=deferred,
+            retries=retries,
             features=features,
             feature_index=np.asarray(feat_idx, dtype=np.int64),
         )
@@ -126,6 +130,7 @@ class ColumnStore:
             quality=np.concatenate([store.quality for store in stores]),
             confidence=np.concatenate([store.confidence for store in stores]),
             deferred=np.concatenate([store.deferred for store in stores]),
+            retries=np.concatenate([store.retries for store in stores]),
             features=np.concatenate(features) if features else np.zeros((0, feature_dim)),
             feature_index=np.concatenate(
                 [store.feature_index + offset for store, offset in zip(stores, offsets)]
@@ -185,6 +190,9 @@ class ResultCollector:
         self._dropped = 0
         self._violated = 0
         self._heavy = 0
+        #: query_id -> requeue count for queries currently being retried;
+        #: popped into the final record at completion/drop time.
+        self._retries: Dict[int, int] = {}
 
     # ------------------------------------------------------------- data path
     def complete(
@@ -206,6 +214,7 @@ class ResultCollector:
             features=image.features,
             confidence=confidence,
             deferred=deferred,
+            retries=self._retries.pop(query.query_id, 0),
         )
         self.records.append(record)
         self._completions_window += 1
@@ -223,9 +232,25 @@ class ResultCollector:
 
     def drop(self, query: Query) -> None:
         """Record a dropped query."""
-        self.records.append(QueryRecord(query=query, stage=QueryStage.DROPPED))
+        self.records.append(
+            QueryRecord(
+                query=query,
+                stage=QueryStage.DROPPED,
+                retries=self._retries.pop(query.query_id, 0),
+            )
+        )
         self._violations_window += 1
         self._dropped += 1
+
+    def record_retry(self, query: Query) -> None:
+        """Count one recovery requeue for ``query`` (fault-injection path).
+
+        The query stays *open* — exactly one terminal ``complete``/``drop``
+        record is ever written for it, with the accumulated retry count, so
+        retries never inflate query totals and latency spans first arrival to
+        final completion.
+        """
+        self._retries[query.query_id] = self._retries.get(query.query_id, 0) + 1
 
     # ----------------------------------------------------------- control path
     @property

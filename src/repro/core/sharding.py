@@ -301,9 +301,22 @@ def _shard_worker_main(conn, sys_path: List[str]) -> None:
 
 
 class _ProcessShard:
-    """Drives one worker process over a pipe (``shards>1``)."""
+    """Drives one worker process over a pipe (``shards>1``).
+
+    Every read of the pipe polls with a short timeout and checks the worker
+    process is still alive, so a shard dying mid-epoch surfaces as a one-line
+    error naming the shard and its regions instead of hanging the supervisor
+    forever on a ``recv`` that can never complete.
+    """
+
+    #: Seconds without any reply before an *alive but silent* worker is
+    #: declared unresponsive (a dead worker is detected within one poll).
+    reply_timeout: float = 600.0
+    #: Poll granularity; bounds dead-process detection latency.
+    poll_interval: float = 0.25
 
     def __init__(self, systems: Dict[str, ServingSimulation]) -> None:
+        self._regions = tuple(systems)
         context = multiprocessing.get_context("spawn")
         self._conn, child_conn = context.Pipe(duplex=True)
         self._process = context.Process(
@@ -314,8 +327,26 @@ class _ProcessShard:
         self._conn.send(("init", systems))
         self._expect("ready")
 
+    def _dead_shard_error(self, verb: str, reason: str) -> RuntimeError:
+        regions = ", ".join(self._regions)
+        return RuntimeError(
+            f"shard worker for region(s) {regions} {reason} while the supervisor "
+            f"waited for {verb!r}"
+        )
+
     def _expect(self, verb: str):
-        message = self._conn.recv()
+        deadline = time.monotonic() + self.reply_timeout
+        while not self._conn.poll(timeout=self.poll_interval):
+            if not self._process.is_alive():
+                raise self._dead_shard_error(verb, f"died (exit code {self._process.exitcode})")
+            if time.monotonic() >= deadline:
+                raise self._dead_shard_error(
+                    verb, f"sent nothing for {self.reply_timeout:g}s (alive but unresponsive)"
+                )
+        try:
+            message = self._conn.recv()
+        except EOFError:
+            raise self._dead_shard_error(verb, "closed its pipe") from None
         if message[0] != verb:  # pragma: no cover - protocol misuse
             raise RuntimeError(f"expected {verb!r} from shard, got {message[0]!r}")
         return message[1:] if len(message) > 1 else None
@@ -456,6 +487,27 @@ class ShardSupervisor:
             )
         return routed
 
+    def _partitioned_at(self, when: float) -> frozenset:
+        """Region names with an active link partition at routing time ``when``.
+
+        Partitions are epoch-synchronous (like every other cross-region
+        decision): an epoch routes under the partitions active at its start,
+        so the routing is a pure function of the template's fault plan and
+        the barrier grid — identical for every shard count.
+        """
+        if self.template.faults is None:
+            return frozenset()
+        from repro.faults.plan import RegionPartition
+
+        known = set(self.topology.names)
+        return frozenset(
+            fault.region
+            for fault in self.template.faults.faults
+            if isinstance(fault, RegionPartition)
+            and fault.region in known  # plans are topology-agnostic; skip absent regions
+            and fault.at <= when < fault.at + fault.duration
+        )
+
     def _merged_live_summary(self, stats: Sequence[RegionStats]) -> Dict[str, float]:
         """Exactly what a serial collector's ``running_summary()`` reports.
 
@@ -529,9 +581,13 @@ class ShardSupervisor:
         self.barrier_seconds = 0.0
         try:
             cursor = 0
+            epoch_start = 0.0
             for barrier in self._barriers(horizon):
                 # Epoch k spans arrivals in (previous barrier, barrier];
                 # routing sees only statistics reported at the k-1 barrier.
+                if self.template.faults is not None:
+                    router.set_partitioned(self._partitioned_at(epoch_start))
+                epoch_start = float(barrier)
                 hi = int(np.searchsorted(arrivals, barrier, side="right"))
                 routed = self._route_epoch(router, arrivals, origins, cursor, hi)
                 cursor = hi

@@ -29,6 +29,7 @@ from repro.core.resources import BandwidthChannel, ResidencySet, WorkerResources
 from repro.core.results import ResultCollector, SimulationResult
 from repro.core.worker import Worker
 from repro.discriminators.base import Discriminator
+from repro.faults.plan import FaultPlan
 from repro.discriminators.deferral import DeferralProfile
 from repro.discriminators.training import train_default_discriminator
 from repro.models.dataset import QueryDataset
@@ -173,6 +174,13 @@ class ServingSimulation:
         seconds and re-solves (warm-started) according to ``replan.policy``.
     name:
         Label attached to the result (used in figures/tables).
+    faults:
+        Optional deterministic fault plan (:class:`~repro.faults.plan.
+        FaultPlan`).  When set, a :class:`~repro.faults.injector.
+        FaultInjector` actor drives the plan's fault processes against the
+        wired system and — if the plan enables recovery — arms the
+        heartbeat/requeue/repair control loop.  ``None`` keeps the system
+        bit-for-bit identical to a fault-free build.
     """
 
     config: SystemConfig
@@ -182,6 +190,7 @@ class ServingSimulation:
     initial_demand: float = 1.0
     replan: Optional[ReplanConfig] = None
     name: str = "diffserve"
+    faults: Optional[FaultPlan] = None
 
     def prepare(self) -> SystemRuntime:
         """Wire the full system (no client source) and return its runtime.
@@ -277,6 +286,18 @@ class ServingSimulation:
                 config=self.replan,
             )
 
+        if self.faults is not None:
+            from repro.faults.injector import FaultInjector
+
+            FaultInjector(
+                sim,
+                self.faults,
+                workers=workers,
+                load_balancer=load_balancer,
+                controller=controller,
+                collector=collector,
+            )
+
         return SystemRuntime(
             sim=sim,
             collector=collector,
@@ -333,6 +354,7 @@ def build_diffserve_system(
     replan_epoch: Optional[float] = None,
     replan_policy: Optional[str] = None,
     resources: Optional[ResourceConfig] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ServingSimulation:
     """Build a ready-to-run DiffServe system for a named cascade.
 
@@ -357,6 +379,12 @@ def build_diffserve_system(
     shared transfer bandwidth, result egress, and (when ``reload_aware``)
     reload-penalised, co-placement-pinning MILP plans.  ``None`` keeps the
     legacy model bit-for-bit.
+
+    ``faults`` attaches a deterministic fault plan
+    (:class:`~repro.faults.plan.FaultPlan`): seed-driven crash / revocation /
+    straggler / bandwidth / partition / solver-timeout processes plus the
+    optional self-healing recovery loop.  ``None`` keeps runs bit-for-bit
+    identical to fault-free builds.
     """
     from repro.models.dataset import load_dataset
     from repro.models.zoo import get_cascade
@@ -408,4 +436,5 @@ def build_diffserve_system(
         discriminator=discriminator,
         replan=replan,
         name=name,
+        faults=faults,
     )

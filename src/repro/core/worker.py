@@ -121,6 +121,17 @@ class Worker(Actor):
         self.resources = resources
         self.on_complete = on_complete
         self.on_drop = on_drop
+        #: Fault-injection state.  ``failed`` workers accept no work and
+        #: never complete; ``quarantined`` workers are excluded from pools at
+        #: the next plan application; ``slowdown`` multiplies execution
+        #: latency (1.0 — the exact float no-op — outside straggler windows).
+        #: ``on_fail`` lets the injector capture work routed to a dead worker
+        #: before the failure detector has caught up.
+        self.failed = False
+        self.quarantined = False
+        self.slowdown = 1.0
+        self.on_fail: Optional[Callable[[WorkItem], None]] = None
+        self._inflight: List[WorkItem] = []
 
         self.queue: Deque[WorkItem] = deque()
         self.busy = False
@@ -174,6 +185,8 @@ class Worker(Actor):
         while the weights cross the shared transfer channel — so the cost
         depends on what else (egress, prefetches) is on the wire.
         """
+        if self.failed:
+            return
         changed = variant.name != self.variant.name
         self.variant = variant
         self.discriminator = discriminator
@@ -213,6 +226,8 @@ class Worker(Actor):
         self._start_weight_load(variant)
 
     def _finish_reload(self) -> None:
+        if self.failed:
+            return
         self.busy = False
         self._maybe_start_batch()
 
@@ -245,6 +260,8 @@ class Worker(Actor):
         res = self.resources
         assert res is not None
         res.loading.pop(name, None)
+        if self.failed:
+            return
         if self._reload_pending == name:
             self._reload_pending = None
             self.stats.reload_stall_time += self.now - self._reload_started_at
@@ -259,7 +276,7 @@ class Worker(Actor):
         later ``set_variant`` to any of them is free.  No-op in the legacy
         model.
         """
-        if self.resources is None:
+        if self.resources is None or self.failed:
             return
         self.resources.residency.pin([v.name for v in variants])
         for variant in variants:
@@ -269,9 +286,32 @@ class Worker(Actor):
     # -------------------------------------------------------------- data path
     def enqueue(self, item: WorkItem) -> None:
         """Add a query to the local queue and start a batch if idle."""
+        if self.failed:
+            # A dead worker is a black hole: hand the item to the injector's
+            # strand hook (recovery on) or drop it outright (recovery off).
+            self.stats.arrivals += 1
+            if self.on_fail is not None:
+                self.on_fail(item)
+            else:
+                self.stats.drops += 1
+                if self.on_drop is not None:
+                    self.on_drop(item)
+            return
         self.queue.append(item)
         self.stats.arrivals += 1
         self._maybe_start_batch()
+
+    def fail(self) -> List[WorkItem]:
+        """Kill the worker; return the queued + in-flight items it orphans."""
+        if self.failed:
+            return []
+        self.failed = True
+        orphans = list(self._inflight) + list(self.queue)
+        self._inflight = []
+        self.queue.clear()
+        self.busy = False
+        self._reload_pending = None
+        return orphans
 
     def _predicted_exec_latency(self, batch_size: int) -> float:
         latency = self.profiled.latency(batch_size)
@@ -286,7 +326,7 @@ class Worker(Actor):
         # handlers that synchronously re-enqueue (retry/resubmit policies)
         # from re-entering; the loop re-checks the queue each wave, so items
         # they add are still picked up before it exits.
-        if self._dispatching:
+        if self._dispatching or self.failed:
             return
         self._dispatching = True
         try:
@@ -312,11 +352,23 @@ class Worker(Actor):
         latency = self.latency_profile.sample_latency(len(batch), self._rng)
         if self.discriminator is not None:
             latency += self.discriminator.latency_s * len(batch)
+        latency *= self.slowdown
+        # Extend, don't assign: a mid-batch weight reload can reset ``busy``
+        # and let a second batch dispatch while the first still executes, and
+        # ``fail()`` must orphan every in-flight item, not just the latest
+        # batch's.
+        self._inflight.extend(batch)
         self.sim.schedule(
             latency, lambda: self._complete_batch(batch, latency), name=f"{self.name}-batch"
         )
 
     def _complete_batch(self, batch: List[WorkItem], latency: float) -> None:
+        if self.failed:
+            # The worker died mid-batch; its results are lost (the items were
+            # orphaned by fail() and are the recovery path's problem now).
+            return
+        finished = {id(item) for item in batch}
+        self._inflight = [item for item in self._inflight if id(item) not in finished]
         self.busy = False
         self.stats.busy_time += latency
         self.stats.batches += 1

@@ -1,0 +1,215 @@
+"""Chaos study: self-healing recovery vs. unmitigated faults.
+
+The fault-injection layer (:mod:`repro.faults`) makes failure a first-class,
+deterministic simulation input: a :class:`~repro.faults.plan.FaultPlan`
+schedules worker crashes, straggler slowdowns, spot revocations, bandwidth
+degradations and solver-timeout windows as ordinary events, and — when
+recovery is enabled — arms the heartbeat detector, the bounded
+retry-with-exponential-backoff requeue path, online fleet repair
+(``set_fleet`` + warm-started re-solve) and the last-known-good plan
+fallback.  This study serves one flash-crowd trace through three arms:
+
+``baseline``
+    No faults (``faults=None``): the bit-for-bit legacy run that anchors
+    what the fault-free system achieves on this trace.
+``recovery``
+    The ``storm`` catalog plan — two permanent worker crashes plus two 6x
+    straggler windows overlapping the flash crowd — with the self-healing
+    control plane armed.  Crashed workers' in-flight work is requeued with
+    backoff, stragglers are quarantined while healthy capacity remains, and
+    the fleet is repaired online.
+``norecovery``
+    The identical storm with recovery disabled: orphaned work is dropped,
+    dead workers attract traffic until the next re-plan notices them, and
+    stragglers keep serving at 6x latency.
+
+The headline claim — gated in ``benchmarks/test_bench_chaos.py`` — is that
+the recovery arm Pareto-dominates the no-recovery arm on (SLO violation
+ratio, p99 latency), both minimised.  The no-recovery arm must still
+*degrade* rather than crash: it completes queries and counts its losses as
+drops (the graceful-degradation acceptance criterion).
+
+Every arm is one grid cell of the cached parallel runner (``faults`` is a
+cached grid dimension), so ``repro chaos`` inherits the runner's determinism
+and caching guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
+
+#: (arm name, ``--faults`` spelling) cells in execution order.
+DEFAULT_CELLS: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("baseline", None),
+    ("recovery", "storm"),
+    ("norecovery", "storm-norecovery"),
+)
+
+#: Cluster size the storm scenario is designed against: the catalog ``storm``
+#: crashes workers 1 and 3 and slows workers 0 and 2, so a 6-worker fleet
+#: loses a third of its capacity outright and another third to stragglers —
+#: large enough to survive with recovery, small enough that the faults bite.
+STORM_NUM_WORKERS = 6
+
+#: Adaptive re-planning epoch (seconds): the repair re-solve and the
+#: no-recovery arm's "planner eventually notices the dead worker" window.
+DEFAULT_EPOCH = 3.0
+
+#: Nominal rate as a fraction of the cascade's all-light capacity (the same
+#: sizing rule as the contention study's flash crowd).
+DEFAULT_QPS_FRACTION = 0.6
+
+
+@dataclass
+class ChaosArm:
+    """Outcome of one fault-scenario cell."""
+
+    name: str
+    faults: Optional[str]
+    summary: Dict[str, float]
+
+    @property
+    def violation(self) -> float:
+        """SLO violation ratio of the arm."""
+        return self.summary["slo_violation_ratio"]
+
+    @property
+    def p99(self) -> float:
+        """p99 end-to-end latency (seconds) of the arm."""
+        return self.summary["p99_latency"]
+
+
+@dataclass
+class ChaosResult:
+    """All arms of the chaos study, keyed by arm name."""
+
+    qps: float
+    arms: Dict[str, ChaosArm] = field(default_factory=dict)
+
+    def arm(self, name: str) -> ChaosArm:
+        """The arm with the given name."""
+        return self.arms[name]
+
+    def recovery_dominates(self, tol: float = 1e-9) -> bool:
+        """The headline claim, pinned by the benchmark gate.
+
+        Under the storm, the recovery arm matches or Pareto-dominates the
+        no-recovery arm on (SLO violation ratio, p99 latency), both
+        minimised; ``tol`` absorbs float noise.
+        """
+        recovery = self.arm("recovery")
+        norecovery = self.arm("norecovery")
+        return (
+            recovery.violation <= norecovery.violation + tol
+            and recovery.p99 <= norecovery.p99 + tol
+        )
+
+    def degrades_gracefully(self) -> bool:
+        """Whether the unmitigated storm degrades instead of falling over.
+
+        The no-recovery arm must still complete work and account for its
+        losses as drops — a mid-epoch crash may cost queries, never the run.
+        """
+        norecovery = self.arm("norecovery")
+        return norecovery.summary["completed"] > 0 and norecovery.summary["dropped"] > 0
+
+
+def run_chaos(
+    cascade_name: str = "sdturbo",
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    cells: Sequence[Tuple[str, Optional[str]]] = DEFAULT_CELLS,
+    qps: Optional[float] = None,
+    replan_epoch: float = DEFAULT_EPOCH,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> ChaosResult:
+    """Run the chaos cells through the cached parallel grid runner.
+
+    Every cell serves the *identical* sampled flash-crowd trace (the trace is
+    a function of the workload spec and seed, not the fault plan) on the
+    storm-sized :data:`STORM_NUM_WORKERS` cluster, with adaptive re-planning
+    attached so the repair path actually re-solves.
+    """
+    from repro.runner.executor import run_grid
+    from repro.runner.spec import ExperimentGrid, ExperimentSpec, TraceSpec
+    from repro.workloads import cascade_qps_range
+
+    scale = replace(scale, num_workers=STORM_NUM_WORKERS)
+    if qps is None:
+        lo, hi = cascade_qps_range(cascade_name, scale.num_workers)
+        qps = DEFAULT_QPS_FRACTION * hi
+    specs = [
+        ExperimentSpec(
+            cascade=cascade_name,
+            scale=scale,
+            systems=("diffserve",),
+            trace=TraceSpec(kind="flash-crowd", qps=qps),
+            params=(
+                ("replan_epoch", float(replan_epoch)),
+                ("replan_policy", "adaptive"),
+            ),
+            faults=faults,
+        )
+        for _, faults in cells
+    ]
+    report = run_grid(ExperimentGrid.of(specs), jobs=jobs, use_cache=use_cache)
+    failed = [cell for cell in report.cells if not cell.ok]
+    if failed:
+        details = "; ".join(f"{cell.spec.label}: {cell.status}" for cell in failed)
+        raise RuntimeError(f"chaos study cells failed: {details}")
+
+    result = ChaosResult(qps=float(qps))
+    for (name, faults), cell in zip(cells, report.cells):
+        result.arms[name] = ChaosArm(
+            name=name,
+            faults=faults,
+            summary=dict(cell.summaries["diffserve"]),
+        )
+    return result
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run the chaos study and print the per-arm table plus verdicts."""
+    result = run_chaos(scale=scale)
+    rows: List[list] = []
+    for name, arm in result.arms.items():
+        rows.append(
+            [
+                name,
+                arm.faults or "-",
+                arm.summary["slo_violation_ratio"],
+                arm.summary["p99_latency"],
+                arm.summary["mean_latency"],
+                int(arm.summary["completed"]),
+                int(arm.summary["dropped"]),
+            ]
+        )
+    verdicts = [
+        "storm: recovery Pareto-dominates no-recovery on (SLO violation, p99 latency)"
+        if result.recovery_dominates()
+        else "storm: recovery does NOT dominate in this configuration",
+        "storm: unmitigated faults degrade gracefully (drops, completes, no crash)"
+        if result.degrades_gracefully()
+        else "storm: unmitigated arm FAILED to degrade gracefully",
+    ]
+    output = "\n".join(
+        [
+            f"Fault injection — DiffServe flash-crowd @ {result.qps:g} qps nominal, "
+            f"{STORM_NUM_WORKERS} workers, adaptive re-planning",
+            format_table(
+                ["arm", "faults", "SLO viol", "p99 (s)", "mean (s)", "done", "drop"],
+                rows,
+            ),
+            *verdicts,
+        ]
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -142,6 +142,7 @@ def build_comparison_systems(
     replan_policy: Optional[str] = None,
     fleet=None,
     resources=None,
+    faults=None,
 ) -> Dict[str, ServingSimulation]:
     """Instantiate the requested systems with shared dataset/discriminator.
 
@@ -157,11 +158,19 @@ def build_comparison_systems(
     :class:`~repro.core.config.ResourceConfig`) attaches the multi-resource
     worker model — memory residency, transfer bandwidth, result egress — to
     every system; ``None`` keeps the legacy compute-only execution model.
+    ``faults`` (a :class:`~repro.faults.plan.FaultPlan`) injects the same
+    deterministic fault scenario into every system; ``None`` keeps runs
+    fault-free and bit-for-bit legacy.
     """
     if dataset is None or discriminator is None:
         _, dataset, discriminator = shared_components(cascade_name, scale)
     over = {} if over_provision is None else {"over_provision": over_provision}
-    cluster = {"num_workers": scale.num_workers, "fleet": fleet, "resources": resources}
+    cluster = {
+        "num_workers": scale.num_workers,
+        "fleet": fleet,
+        "resources": resources,
+        "faults": faults,
+    }
     built: Dict[str, ServingSimulation] = {}
     for name in systems:
         if name == "clipper-light":

@@ -154,6 +154,7 @@ def run_cell_results(
         systems=spec.systems,
         fleet=spec.resolve_fleet(),
         resources=spec.resolve_resources(),
+        faults=spec.resolve_faults(),
         **spec.params_dict(),
     )
     topology = spec.resolve_geo()

@@ -35,7 +35,11 @@ from repro.experiments.harness import ExperimentScale
 #: v7: multi-resource worker model — ``resources`` became a grid dimension
 #: and resource-enabled cells execute the residency/transfer/egress stage
 #: machine (state-dependent reload costs, reload-aware MILP objective).
-CACHE_SCHEMA_VERSION = 7
+#: v8: deterministic fault injection — ``faults`` became a grid dimension and
+#: fault-enabled cells run the injector + self-healing control plane
+#: (crash/straggler/revocation faults, retry-with-backoff requeue,
+#: last-known-good plan fallback); QueryRecord gained a ``retries`` column.
+CACHE_SCHEMA_VERSION = 8
 
 #: The standard five-system comparison run by most figures.
 DEFAULT_SYSTEMS: Tuple[str, ...] = (
@@ -209,6 +213,12 @@ class ExperimentSpec:
         compute-only execution model).  Hashes by the *resolved*
         :meth:`~repro.core.config.ResourceConfig.token`, so equivalent
         spellings share a cache entry.
+    faults:
+        Deterministic fault scenario: a catalog name from
+        :data:`repro.faults.plan.FAULT_PLANS` or the ``--faults`` JSON form
+        (``None`` keeps runs fault-free and bit-for-bit legacy).  Hashes by
+        the *resolved* :meth:`~repro.faults.plan.FaultPlan.token`, so a
+        catalog name and its equivalent JSON share a cache entry.
     """
 
     cascade: str
@@ -221,6 +231,7 @@ class ExperimentSpec:
     geo: Optional[str] = None
     shards: int = 1
     resources: Optional[str] = None
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.systems:
@@ -255,6 +266,9 @@ class ExperimentSpec:
         if self.resources is not None:
             if self.resolve_resources() is None:
                 raise ValueError("resources must be 'default' or JSON, not blank")
+        if self.faults is not None:
+            if self.resolve_faults() is None:
+                raise ValueError("faults must be a catalog name or JSON, not blank")
 
     # ------------------------------------------------------------- builders
     def with_params(self, **params: ParamValue) -> "ExperimentSpec":
@@ -306,6 +320,19 @@ class ExperimentSpec:
 
         return parse_resources(self.resources)
 
+    def resolve_faults(self):
+        """The spec's fault scenario as a :class:`~repro.faults.plan.FaultPlan`.
+
+        ``None`` when the cell runs fault-free.  Parsing and validation live
+        in :func:`~repro.faults.plan.parse_faults` (a catalog name or the
+        ``--faults`` JSON form).
+        """
+        if self.faults is None:
+            return None
+        from repro.faults.plan import parse_faults
+
+        return parse_faults(self.faults)
+
     # ------------------------------------------------------------- identity
     def token(self) -> str:
         """Canonical token string the content hash is derived from."""
@@ -335,6 +362,8 @@ class ExperimentSpec:
             # Hash by the *resolved* canonical token so "default" and its
             # equivalent JSON spelling share a cache entry.
             parts.append(f"resources({self.resolve_resources().token()})")
+        if self.faults is not None:
+            parts.append(f"faults({self.resolve_faults().token()})")
         return "|".join(parts)
 
     @property
@@ -366,6 +395,10 @@ class ExperimentSpec:
         if self.resources is not None:
             bits.append(
                 "resources" if self.resources.strip().startswith("{") else self.resources
+            )
+        if self.faults is not None:
+            bits.append(
+                "faults-json" if self.faults.strip().startswith("{") else f"faults-{self.faults}"
             )
         bits.extend(f"{k}={v}" for k, v in self.params)
         return "/".join(bits)
@@ -410,6 +443,7 @@ class ExperimentGrid:
         geos: Sequence[Optional[str]] = (None,),
         shards: int = 1,
         resources: Optional[str] = None,
+        faults: Optional[str] = None,
     ) -> "ExperimentGrid":
         """Cross product of cascades x scales (or seeds) x traces x params x fleets x geos.
 
@@ -421,7 +455,9 @@ class ExperimentGrid:
         execution knob, not a studied dimension, so it does not fan out.
         ``resources`` attaches the multi-resource worker model to every cell
         (``"default"`` or the ``--resources`` JSON form; ``None`` keeps the
-        legacy execution model).
+        legacy execution model).  ``faults`` injects the same deterministic
+        fault scenario into every cell (a catalog name or the ``--faults``
+        JSON form; ``None`` keeps cells fault-free).
         """
         if scales is None:
             base = base_scale if base_scale is not None else ExperimentScale()
@@ -440,6 +476,7 @@ class ExperimentGrid:
                 geo=geo,
                 shards=shards,
                 resources=resources,
+                faults=faults,
             )
             for cascade in cascades
             for scale in scales

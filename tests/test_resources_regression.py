@@ -114,7 +114,8 @@ def test_num_workers_alias_warns_exactly_once():
 
 # --------------------------------------------------------- runner dimension
 def test_cache_schema_bumped_for_resources():
-    assert CACHE_SCHEMA_VERSION == 7
+    # v7 introduced the resources dimension; v8 added the faults dimension.
+    assert CACHE_SCHEMA_VERSION == 8
 
 
 def test_spec_token_includes_resolved_resources():

@@ -389,3 +389,34 @@ def test_shard_timing_report_renders_region_rows():
     assert "barrier wait" in report
     for region in ("us", "eu"):
         assert f"\n{region}" in report or report.count(region)
+
+
+# ------------------------------------------------------------- dead shards
+def test_dead_shard_surfaces_one_line_error_instead_of_hanging():
+    """A shard worker dying mid-epoch must fail fast with a named error.
+
+    Before the liveness check, the supervisor's blocking ``recv`` would hang
+    forever on the dead worker's pipe; now every pipe read polls with a short
+    timeout and raises a one-line error naming the dead shard's regions and
+    exit code.
+    """
+    from repro.core.sharding import _ProcessShard
+
+    shard = _ProcessShard({"us": small_system(), "eu": small_system()})
+    try:
+        shard._process.terminate()
+        shard._process.join(timeout=30)
+        assert not shard._process.is_alive()
+        # Depending on timing the dead worker surfaces either as a liveness
+        # failure ("died (exit code N)") or as a closed pipe — both are the
+        # same one-line error shape naming the shard's regions and the verb.
+        with pytest.raises(
+            RuntimeError,
+            match=r"shard worker for region\(s\) us, eu "
+            r"(died \(exit code -?\d+\)|closed its pipe) "
+            r"while the supervisor waited for 'stats'",
+        ):
+            shard.collect_stats()
+    finally:
+        shard._conn.close()
+        shard._process.join(timeout=30)
