@@ -1,0 +1,101 @@
+"""Benchmark — elastic fleets: autoscaling + spot markets (PR 9 tentpole gate).
+
+Two halves, mirroring the chaos benchmark's correctness/speed split:
+
+* **Overhead gate:** arming the autoscaler with the ``static`` policy (the
+  full decision machinery runs every replan epoch but never changes the
+  fleet) must stay within :data:`OVERHEAD_CEILING` of the ``autoscale=None``
+  legacy path on event-loop throughput (events fired per wall-clock second)
+  for the same flash-crowd cell — and must leave the summary byte-identical:
+  a policy that never scales is observationally the legacy system.
+
+* **Dominance claims:** :func:`repro.experiments.autoscale.run_autoscale`
+  re-runs the elastic-fleet study at bench scale and asserts the acceptance
+  criterion: under the diurnal workload on the diurnal spot market, the
+  cost-aware policy strictly dominates the fixed equal-peak-cost fleet on
+  (time-integrated cost, SLO violation ratio) — strictly cheaper, no worse
+  on violations.
+"""
+
+import time
+
+from repro.core.system import ClientSource, build_diffserve_system
+from repro.experiments.autoscale import run_autoscale
+from repro.workloads import make_workload
+
+#: Autoscaler-armed events/sec may be at most this factor below legacy.
+OVERHEAD_CEILING = 1.2
+#: Cell the overhead gate times (matches the autoscale experiment shape).
+N_WORKERS = 8
+QPS = 9.6
+DURATION = 60.0
+
+
+def _events_per_second(autoscale):
+    """Events fired per wall second for one flash-crowd run."""
+    from repro.core.autoscaler import get_scale_policy
+
+    system = build_diffserve_system(
+        "sdturbo",
+        num_workers=N_WORKERS,
+        dataset_size=300,
+        seed=0,
+        replan_epoch=3.0,
+        replan_policy="adaptive",
+        autoscale=get_scale_policy(autoscale) if autoscale else None,
+    )
+    workload = make_workload("flash-crowd", qps=QPS, duration=DURATION, seed=0)
+    runtime = system.prepare()
+    ClientSource(runtime.sim, workload, system.dataset, runtime.load_balancer, system.config.slo)
+    horizon = system.horizon(workload)
+    start = time.perf_counter()
+    runtime.sim.run(until=horizon)
+    elapsed = time.perf_counter() - start
+    summary = runtime.result(horizon).summary()
+    return runtime.sim.events_fired / elapsed, summary
+
+
+def test_bench_autoscale(benchmark):
+    legacy_eps, legacy_summary = _events_per_second(None)
+    armed = {}
+
+    def armed_run():
+        armed["eps"], armed["summary"] = _events_per_second("static")
+        return armed["summary"]
+
+    benchmark(armed_run)
+
+    # A static policy must not change behaviour, only evaluate and decline.
+    assert armed["summary"] == legacy_summary, (
+        "autoscale='static' run diverged from the autoscale=None summary"
+    )
+
+    slowdown = legacy_eps / armed["eps"] if armed["eps"] else float("inf")
+    benchmark.extra_info["legacy_events_per_sec"] = round(legacy_eps, 1)
+    benchmark.extra_info["armed_events_per_sec"] = round(armed["eps"], 1)
+    # compare.py gates `gated_*` higher-is-better: report the throughput
+    # ratio (armed/legacy), not the slowdown.
+    benchmark.extra_info["gated_autoscale_throughput_ratio"] = round(1.0 / slowdown, 3)
+    assert slowdown <= OVERHEAD_CEILING, (
+        f"autoscaler machinery event throughput {slowdown:.2f}x below legacy, "
+        f"over the {OVERHEAD_CEILING}x ceiling "
+        f"({legacy_eps:.0f} vs {armed['eps']:.0f} events/s)"
+    )
+
+    # Dominance claims at bench scale (cached by the runner on repeats).
+    result = run_autoscale()
+    fixed = result.arm("diurnal", "fixed")
+    aware = result.arm("diurnal", "cost-aware")
+    benchmark.extra_info["fixed_cost_a100h"] = round(fixed.cost, 5)
+    benchmark.extra_info["cost_aware_cost_a100h"] = round(aware.cost, 5)
+    benchmark.extra_info["fixed_slo_violation"] = round(fixed.violation, 4)
+    benchmark.extra_info["cost_aware_slo_violation"] = round(aware.violation, 4)
+    # Higher is better for the gate: fractional saving vs. the fixed fleet.
+    benchmark.extra_info["gated_cost_aware_saving"] = round(
+        result.savings("diurnal", "cost-aware"), 3
+    )
+    assert result.cost_aware_dominates("diurnal"), (
+        "cost-aware autoscaling fails to dominate the fixed fleet: "
+        f"cost-aware (cost={aware.cost:.5f}, viol={aware.violation:.4f}) vs "
+        f"fixed (cost={fixed.cost:.5f}, viol={fixed.violation:.4f})"
+    )

@@ -76,6 +76,7 @@ def build_clipper_system(
     dataset: Optional[QueryDataset] = None,
     resources: Optional[ResourceConfig] = None,
     faults=None,
+    prices=None,
     seed: int = 0,
     dataset_size: int = 1000,
 ) -> ServingSimulation:
@@ -106,4 +107,5 @@ def build_clipper_system(
         discriminator=None,
         name=f"clipper-{which}",
         faults=faults,
+        prices=prices,
     )

@@ -141,6 +141,7 @@ def build_proteus_system(
     dataset: Optional[QueryDataset] = None,
     resources: Optional[ResourceConfig] = None,
     faults=None,
+    prices=None,
     over_provision: float = 1.1,
     seed: int = 0,
     dataset_size: int = 1000,
@@ -172,4 +173,5 @@ def build_proteus_system(
         discriminator=None,
         name="proteus",
         faults=faults,
+        prices=prices,
     )

@@ -63,6 +63,7 @@ def build_diffserve_static_system(
     deferral_profile: Optional[DeferralProfile] = None,
     resources: Optional[ResourceConfig] = None,
     faults=None,
+    prices=None,
     over_provision: float = 1.05,
     seed: int = 0,
     dataset_size: int = 1000,
@@ -104,4 +105,5 @@ def build_diffserve_static_system(
         initial_demand=anticipated_peak_qps,
         name="diffserve-static",
         faults=faults,
+        prices=prices,
     )

@@ -24,6 +24,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import (
+    autoscale,
     chaos,
     contention,
     drift_adaptation,
@@ -70,6 +71,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "chaos": (
         "Fault injection: self-healing recovery vs. unmitigated faults",
         chaos.main,
+    ),
+    "autoscale": (
+        "Elastic fleets: fixed vs. reactive vs. cost-aware autoscaling on spot markets",
+        autoscale.main,
     ),
 }
 
@@ -168,6 +173,28 @@ def build_parser() -> argparse.ArgumentParser:
             "bandwidth, partition, solver-timeout, crash-storm) and an "
             "optional 'recovery' key (true/false or a config object); becomes "
             "a cached grid dimension (omit to keep runs fault-free)"
+        ),
+    )
+    runner.add_argument(
+        "--autoscale",
+        default=None,
+        help=(
+            "attach an epoch-synchronous autoscaling policy to the DiffServe "
+            "system: a catalog name (static, reactive, cost-aware) or a JSON "
+            "object with ScalePolicy fields ('{\"kind\": \"cost-aware\", "
+            "\"max_factor\": 1.5, \"step\": 2}'); requires --replan-epoch and "
+            "becomes a cached grid dimension (omit to keep fleets fixed)"
+        ),
+    )
+    runner.add_argument(
+        "--prices",
+        default=None,
+        help=(
+            "price the fleet on a deterministic spot-market trace: a catalog "
+            "name (flat, spot-calm, spot-diurnal, spot-storm) or a JSON object "
+            "with PriceTrace fields ('{\"spot_classes\": [\"l4\", \"t4\"], "
+            "\"volatility\": 0.5}'); meters the time-integrated fleet_cost "
+            "summary key and becomes a cached grid dimension"
         ),
     )
     runner.add_argument(
@@ -422,6 +449,8 @@ def parse_grid(
     shards: int = 1,
     resources: Optional[str] = None,
     faults: Optional[str] = None,
+    autoscale: Optional[str] = None,
+    prices: Optional[str] = None,
 ):
     """Build an :class:`~repro.runner.spec.ExperimentGrid` from a ``--grid`` spec.
 
@@ -448,7 +477,11 @@ def parse_grid(
     multi-resource worker model to every cell as a cached grid dimension.
     ``faults`` (the ``--faults`` flag) injects the same deterministic fault
     scenario into every cell as a cached grid dimension, validated eagerly
-    against the fault catalog / JSON schema.
+    against the fault catalog / JSON schema.  ``autoscale``/``prices`` (the
+    ``--autoscale``/``--prices`` flags) attach the scale policy / spot price
+    trace to every cell as cached grid dimensions, with the same eager
+    one-line validation (``--autoscale`` additionally requires
+    ``--replan-epoch``: scale decisions are evaluated at replan epochs).
     """
     from repro.runner.spec import DEFAULT_SYSTEMS, ExperimentGrid, TraceSpec
 
@@ -532,6 +565,18 @@ def parse_grid(
         from repro.faults.plan import parse_faults
 
         parse_faults(faults)
+    if autoscale is not None:
+        # Eager validation, plus the structural requirement: the autoscaler
+        # is evaluated by the re-planner's epoch loop, so it needs one.
+        from repro.core.autoscaler import parse_autoscale
+
+        parse_autoscale(autoscale)
+        if replan_epoch is None:
+            raise ValueError("--autoscale requires --replan-epoch (scale decisions are evaluated at replan epochs)")
+    if prices is not None:
+        from repro.core.pricing import parse_prices
+
+        parse_prices(prices)
     return ExperimentGrid.product(
         cascades=cascades,
         scales=scales,
@@ -543,6 +588,8 @@ def parse_grid(
         shards=shards,
         resources=resources,
         faults=faults,
+        autoscale=autoscale,
+        prices=prices,
     )
 
 
@@ -566,6 +613,8 @@ def run_grid_command(args: argparse.Namespace) -> int:
             shards=parse_shards(args.shards),
             resources=args.resources,
             faults=args.faults,
+            autoscale=args.autoscale,
+            prices=args.prices,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

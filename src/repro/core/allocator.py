@@ -27,12 +27,13 @@ a grid and selected with binary variables inside a MILP solved per candidate
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import DeviceClass, FleetSpec, ResourceConfig, warn_num_workers_alias
+from repro.core.pricing import PriceTrace
 from repro.core.queueing import LittlesLawModel, QueueingModel
 from repro.discriminators.deferral import DeferralProfile
 from repro.milp.branch_and_bound import BranchAndBoundSolver
@@ -136,6 +137,15 @@ class ControlContext:
     #: ``reload_aware``, the allocator gates classes on footprints, penalises
     #: reloads in the objective, and pins co-placement residency on plans.
     resources: Optional[ResourceConfig] = None
+    #: Spot-market price trace (``None`` = legacy, no price awareness).  When
+    #: set on a heterogeneous fleet the allocator adds a tiny tie-break that
+    #: prefers placing workers on classes that are cheap *right now*.
+    prices: Optional[PriceTrace] = None
+    #: Simulation time at which ``prices`` is sampled.
+    price_time: float = 0.0
+    #: Per-class revocation probability from the active fault plan; effective
+    #: price is ``price * (1 + risk)`` so risky spot capacity is discounted.
+    revocation_risk: Mapping[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.demand < 0:
@@ -170,6 +180,7 @@ class DiffServeAllocator:
         min_light_workers: int = 1,
         exhaustive_cutoff: int = 0,
         reload_penalty: float = 0.02,
+        price_penalty: float = 0.02,
     ) -> None:
         if over_provision < 1.0:
             raise ValueError("over_provision must be >= 1.0")
@@ -200,6 +211,14 @@ class DiffServeAllocator:
         if reload_penalty < 0:
             raise ValueError("reload_penalty must be non-negative")
         self.reload_penalty = reload_penalty
+        #: Objective cost per worker placed on the most expensive class when
+        #: a :class:`~repro.core.pricing.PriceTrace` is attached (spot-market
+        #: runs only).  Like ``reload_penalty`` it is a tie-break: throughput
+        #: feasibility always wins, but equal-capacity splits prefer classes
+        #: that are cheap (and revocation-safe) at the current price.
+        if price_penalty < 0:
+            raise ValueError("price_penalty must be non-negative")
+        self.price_penalty = price_penalty
         self.threshold_grid = self._build_threshold_grid(threshold_levels)
         self.last_solve_time_s: float = 0.0
         self.solve_times: List[float] = []
@@ -539,6 +558,24 @@ class DiffServeAllocator:
                         name=f"reload[{x_name}]",
                     )
                     objective[r_name] = -self.reload_penalty * cost
+            # Spot-market tie-break: every worker placed on a class pays its
+            # *effective* price (spot price risk-inflated by revocation
+            # probability), normalised so the most expensive class costs
+            # exactly ``price_penalty``.  Only heterogeneous fleets have a
+            # placement choice; ``prices=None`` leaves the problem untouched.
+            if ctx.prices is not None and not fleet.is_homogeneous:
+                effective = {
+                    device.name: ctx.prices.price(device.name, ctx.price_time)
+                    * (1.0 + ctx.revocation_risk.get(device.name, 0.0))
+                    for device in fleet.classes
+                }
+                top = max(effective.values())
+                if self.price_penalty > 0 and top > 0:
+                    for x_name in list(light_vars) + list(heavy_vars):
+                        cname = x_name[x_name.index("[") + 1 : -1]
+                        objective[x_name] = objective.get(x_name, 0.0) - (
+                            self.price_penalty * effective[cname] / top
+                        )
             problem.set_objective(objective)
             problem.add_ge(light_vars, demand, name="light-throughput")
             heavy_row = {"f": demand, **heavy_vars}

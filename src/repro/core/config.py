@@ -212,12 +212,26 @@ class FleetSpec:
         return self.token()
 
 
-def fleet_from_counts(counts: Mapping[str, int]) -> FleetSpec:
+def fleet_from_counts(counts: Mapping[str, int], *, drop_zero: bool = False) -> FleetSpec:
     """Build a fleet from ``{class name: count}`` via the built-in catalog.
 
     Unknown class names and bad counts fail with a one-line error naming the
     offending key (the validation itself lives in :class:`FleetSpec`).
+
+    ``drop_zero=True`` is the supported spelling of *scale-to-zero*: classes
+    with ``count == 0`` are omitted from the fleet (a :class:`FleetSpec`
+    never carries empty per-class rows, so the MILP lowering sees only live
+    classes).  An all-zero mapping still fails with the one-line empty-fleet
+    error.  Without the flag a zero count keeps failing validation — an
+    explicit fleet listing a dead class is a spec mistake, not a request.
     """
+    if drop_zero:
+        for name, count in counts.items():
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise ValueError(
+                    f"fleet class {name!r}: count must be an integer, got {count!r}"
+                )
+        counts = {name: count for name, count in counts.items() if count != 0}
     if not counts:
         raise ValueError("fleet must contain at least one device class")
     return FleetSpec(

@@ -16,6 +16,7 @@ from repro.core.config import FleetSpec, RoutingMode, SystemConfig
 from repro.core.demand import DemandEstimator
 from repro.core.load_balancer import LoadBalancer
 from repro.core.policies import AllocationPolicy
+from repro.core.pricing import CostLedger, PriceTrace
 from repro.core.repository import ModelRepository
 from repro.core.results import ControlSnapshot, ResultCollector
 from repro.core.worker import Worker
@@ -38,6 +39,7 @@ class Controller(Actor):
         discriminator: Optional[Discriminator],
         *,
         initial_demand: float = 1.0,
+        prices: Optional[PriceTrace] = None,
     ) -> None:
         super().__init__(sim, name="controller")
         self.config = config
@@ -76,6 +78,41 @@ class Controller(Actor):
         #: :meth:`_resolve_plan` knows an infeasible result is repair-driven
         #: rather than routine overload.
         self.repairing: bool = False
+        #: What the *built* workers amount to per class — the hard ceiling
+        #: every fleet transition is validated against.  With autoscaling the
+        #: simulation pre-provisions spares beyond ``config.fleet``, so this
+        #: can exceed the initial active fleet.
+        if workers and all(w.device is not None for w in workers):
+            self.built_fleet: FleetSpec = FleetSpec(
+                devices=tuple(
+                    (group[0].device, len(group))
+                    for group in self._workers_by_class.values()
+                )
+            )
+        else:
+            self.built_fleet = config.fleet
+        #: The fleet size the autoscaler currently *wants* (may exceed the
+        #: healthy fleet mid-fault); repairs re-apply ``min(target, healthy)``
+        #: per class.  Without an autoscaler this stays the configured fleet,
+        #: which keeps PR 8 repair semantics bit-for-bit.
+        self.fleet_target: FleetSpec = config.fleet
+        #: Workers fenced by a spot-revocation notice: draining toward a kill
+        #: and never eligible for re-activation, even if a same-epoch
+        #: scale-out asks for more of their class.
+        self.fenced_workers: set = set()
+        #: Optional spot-market price trace (pure function of time); ``None``
+        #: meters the static catalog rate.
+        self.prices = prices
+        #: Time-integrated cost meter, charged at every fleet transition
+        #: through :meth:`set_fleet` — the single audited transition site.
+        self.cost_ledger = CostLedger(prices)
+        self.cost_ledger.transition(config.fleet, 0.0)
+        #: ``(time, reason, old token, new token)`` audit log of transitions.
+        self.fleet_log: List[tuple] = [(0.0, "initial", "", config.fleet.token())]
+        #: Per-class revocation probability under the active fault plan
+        #: (fraction of the class's built workers named by spot revocations);
+        #: feeds the cost-aware autoscaler and the MILP's risk discount.
+        self.revocation_risk: dict = {}
 
     # ---------------------------------------------------------------- start
     def start(self) -> None:
@@ -141,23 +178,65 @@ class Controller(Actor):
         fallback = self.plan_store.recall(self.active_fleet)
         return fallback if fallback is not None else plan
 
-    def set_fleet(self, fleet: FleetSpec) -> None:
-        """Shrink/replace the fleet plans are solved against (online failures).
+    def set_fleet(self, fleet: FleetSpec, *, reason: str = "manual") -> None:
+        """Resize/replace the fleet plans are solved against — the one site.
 
-        The simulation's workers are fixed; a smaller active fleet simply
-        stops assigning work to the lost devices (they drain and idle).  The
-        next re-plan sees the new shape, and a warm start from the old shape
-        is repaired — not rejected — by the allocator (see
+        Every fleet transition in the system — fault repairs, autoscaler
+        decisions, manual shrinks — lands here: the move is validated against
+        the workers actually built (growth activates pre-provisioned spares;
+        a worker fenced by a revocation notice can never be re-activated),
+        the :class:`~repro.core.pricing.CostLedger` is charged for the
+        interval the outgoing fleet was held, and the transition is recorded
+        in :attr:`fleet_log`.  Shrunk-away workers simply stop receiving
+        assignments (they drain and idle).  The next re-plan sees the new
+        shape, and a warm start from the old shape is repaired — not
+        rejected — by the allocator (see
         :meth:`~repro.core.allocator.DiffServeAllocator._warm_assignment`).
         """
         for device, count in fleet.devices:
-            present = len(self._workers_by_class.get(device.name, []))
+            group = self._workers_by_class.get(device.name, [])
+            present = len(group)
             if count > present:
                 raise ValueError(
                     f"fleet class {device.name!r}: count {count} exceeds the "
                     f"{present} workers built for it"
                 )
+            fenced = sum(1 for w in group if w in self.fenced_workers)
+            if count > present - fenced:
+                raise ValueError(
+                    f"fleet class {device.name!r}: count {count} exceeds the "
+                    f"{present - fenced} unfenced workers built for it "
+                    f"({fenced} fenced by revocation notices)"
+                )
+        self.cost_ledger.transition(fleet, self.now)
+        self.fleet_log.append((self.now, reason, self.active_fleet.token(), fleet.token()))
         self.active_fleet = fleet
+
+    def fence_worker(self, worker: Worker) -> None:
+        """Permanently fence a worker pending a spot-revocation kill.
+
+        Fenced workers are quarantined (no new assignments) *and* excluded
+        from :meth:`set_fleet` growth validation and :meth:`healthy_counts`,
+        so a same-epoch autoscaler scale-out cannot re-activate a machine the
+        market has already reclaimed.
+        """
+        self.fenced_workers.add(worker)
+        worker.quarantined = True
+
+    def healthy_counts(self) -> dict:
+        """Per-class count of workers eligible for (re-)activation.
+
+        Excludes failed, quarantined and fenced workers; this is the ceiling
+        the autoscaler clamps proposals to and the injector repairs against.
+        """
+        return {
+            name: sum(
+                1
+                for w in group
+                if not w.failed and not w.quarantined and w not in self.fenced_workers
+            )
+            for name, group in self._workers_by_class.items()
+        }
 
     def policy_deferral_update(self, threshold: float, observed_fraction: float) -> None:
         """Blend the observed deferral rate into the policy's deferral profile."""
@@ -182,6 +261,9 @@ class Controller(Actor):
             completions_in_window=completions,
             current_plan=self.current_plan,
             resources=self.config.resources,
+            prices=self.prices,
+            price_time=self.now,
+            revocation_risk=self.revocation_risk,
         )
 
     # -------------------------------------------------------------- applying

@@ -156,6 +156,11 @@ class ReplanController(Actor):
         # Controller's stats window.
         self._prev_total = 0
         self._prev_bad = 0
+        #: Attached by :class:`~repro.core.system.ServingSimulation` when an
+        #: autoscale policy is configured: evaluated every epoch *before* the
+        #: re-solve decision, so a scale event and the plan that fits it land
+        #: in the same epoch.
+        self.autoscaler: Optional[object] = None
         controller.replanner = self
 
     # ------------------------------------------------------------------ start
@@ -218,7 +223,22 @@ class ReplanController(Actor):
         violation_ratio = self._epoch_violation_ratio()
         demand_estimate = controller.demand_estimator.estimate
 
-        replanned = self._should_replan(demand_estimate, violation_ratio)
+        # Autoscaler hook: a pure function of this epoch's signals (and the
+        # price trace at `now`), so decisions are deterministic and identical
+        # under serial and sharded execution.  A scale event always forces a
+        # re-solve — the plan must fit the new fleet.
+        scaled = False
+        if self.autoscaler is not None:
+            proposal = self.autoscaler.evaluate(self.now, arrival_rate, violation_ratio)
+            if proposal is not None:
+                controller.set_fleet(
+                    proposal, reason=f"autoscale:{self.autoscaler.policy.kind}"
+                )
+                controller.fleet_target = proposal
+                scaled = True
+        controller.cost_ledger.observe(self.now)
+
+        replanned = scaled or self._should_replan(demand_estimate, violation_ratio)
         warm_started = False
         solver_time_s = 0.0
         degraded = False

@@ -329,6 +329,11 @@ class SimulationResult:
     #: attached (:class:`~repro.core.replanner.EpochSnapshot` items); empty
     #: for runs without one.
     replan_history: List[object] = field(default_factory=list)
+    #: Time-integrated cost of the fleet the run *actually held* (A100-hours,
+    #: from the controller's :class:`~repro.core.pricing.CostLedger`) — not
+    #: the construction-time ``FleetSpec.total_cost``, so mid-run revocations
+    #: and autoscale transitions show up in the bill.
+    fleet_cost: float = 0.0
 
     # ------------------------------------------------------------ column view
     @property
@@ -357,6 +362,7 @@ class SimulationResult:
         allocator_solve_times: Optional[List[float]] = None,
         system_name: str = "system",
         replan_history: Optional[List[object]] = None,
+        fleet_cost: float = 0.0,
     ) -> "SimulationResult":
         """Build a result directly from a (merged) column store.
 
@@ -373,6 +379,7 @@ class SimulationResult:
             allocator_solve_times=list(allocator_solve_times or []),
             system_name=system_name,
             replan_history=list(replan_history or []),
+            fleet_cost=fleet_cost,
         )
         result._columns = cols
         return result
@@ -506,4 +513,5 @@ class SimulationResult:
             "mean_latency": stats.mean,
             "p50_latency": stats.p50,
             "p99_latency": stats.p99,
+            "fleet_cost": self.fleet_cost,
         }

@@ -146,6 +146,10 @@ class RegionResult:
     allocator_solve_times: List[float]
     replan_history: List[object]
     stats: RegionStats
+    #: The region controller's :class:`~repro.core.pricing.CostLedger`
+    #: (pure data: price trace + closed intervals), shipped whole so the
+    #: merge can integrate each region's bill to the common horizon.
+    cost_ledger: Optional[object] = None
 
 
 # --------------------------------------------------------------------------
@@ -222,6 +226,7 @@ class RegionRuntime:
                 else []
             ),
             stats=self.stats(),
+            cost_ledger=self.runtime.controller.cost_ledger,
         )
 
 
@@ -637,6 +642,18 @@ class ShardSupervisor:
             (snap for r in ordered for snap in r.replan_history), key=lambda s: s.time
         )
         solve_times = [t for r in ordered for t in r.allocator_solve_times]
+        # Per-region bills integrate each ledger to the common horizon; the
+        # merged bill sums them in canonical region order (pure float adds of
+        # per-region exact values, so it is independent of shard count).
+        region_costs = {
+            name: (
+                collected[name].cost_ledger.total_at(horizon)
+                if collected[name].cost_ledger is not None
+                else 0.0
+            )
+            for name in names
+        }
+        merged_cost = sum(region_costs[name] for name in names)
         self.region_results = {
             name: SimulationResult.from_columns(
                 result.cols,
@@ -647,6 +664,7 @@ class ShardSupervisor:
                 allocator_solve_times=result.allocator_solve_times,
                 system_name=f"{self.template.name}@{name}",
                 replan_history=result.replan_history,
+                fleet_cost=region_costs[name],
             )
             for name, result in collected.items()
         }
@@ -659,6 +677,7 @@ class ShardSupervisor:
             allocator_solve_times=solve_times,
             system_name=self.template.name,
             replan_history=replan_history,
+            fleet_cost=merged_cost,
         )
 
 

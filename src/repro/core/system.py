@@ -8,10 +8,12 @@ simulator, runs a workload trace through the system, and returns a
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 
+from repro.core.autoscaler import Autoscaler, ScalePolicy
 from repro.core.config import (
     DEFAULT_DEVICE_CLASS,
     FleetSpec,
@@ -20,6 +22,7 @@ from repro.core.config import (
     SystemConfig,
 )
 from repro.core.controller import Controller
+from repro.core.pricing import PriceTrace
 from repro.core.load_balancer import LoadBalancer
 from repro.core.policies import AllocationPolicy, make_diffserve_policy
 from repro.core.query import Query
@@ -145,6 +148,7 @@ class SystemRuntime:
             allocator_solve_times=list(self.controller.solve_times),
             system_name=self.name,
             replan_history=list(self.replanner.history) if self.replanner is not None else [],
+            fleet_cost=self.controller.cost_ledger.total_at(duration),
         )
 
 
@@ -181,6 +185,17 @@ class ServingSimulation:
         wired system and — if the plan enables recovery — arms the
         heartbeat/requeue/repair control loop.  ``None`` keeps the system
         bit-for-bit identical to a fault-free build.
+    autoscale:
+        Optional :class:`~repro.core.autoscaler.ScalePolicy`.  When set the
+        worker pool is pre-provisioned up to ``max_factor`` times the
+        configured fleet (spares are built drained and fire zero events) and
+        an :class:`~repro.core.autoscaler.Autoscaler` is attached to the
+        re-planner's epoch loop; requires ``replan``.  ``None`` keeps runs
+        bit-for-bit legacy.
+    prices:
+        Optional :class:`~repro.core.pricing.PriceTrace` metering the cost
+        ledger and pricing spot classes for the cost-aware policy/MILP
+        tie-break.  ``None`` meters the static catalog rate.
     """
 
     config: SystemConfig
@@ -191,6 +206,8 @@ class ServingSimulation:
     replan: Optional[ReplanConfig] = None
     name: str = "diffserve"
     faults: Optional[FaultPlan] = None
+    autoscale: Optional[ScalePolicy] = None
+    prices: Optional[PriceTrace] = None
 
     def prepare(self) -> SystemRuntime:
         """Wire the full system (no client source) and return its runtime.
@@ -199,6 +216,12 @@ class ServingSimulation:
         :class:`ClientSource` and runs to the horizon, while the shard
         supervisor injects externally routed queries epoch by epoch.
         """
+        if self.autoscale is not None and self.replan is None:
+            raise ValueError(
+                "autoscale requires the re-planning control plane "
+                "(set replan_epoch/replan_policy): scale decisions are "
+                "evaluated at replan epochs"
+            )
         sim = Simulator(seed=self.config.seed)
         generator = ImageGenerator(seed=self.config.seed)
         collector = ResultCollector(self.dataset)
@@ -223,9 +246,19 @@ class ServingSimulation:
 
         # One worker per fleet device, constructed grouped per device class in
         # the fleet's canonical order (the same order the Controller maps plan
-        # assignments back onto workers).
-        workers = []
+        # assignments back onto workers).  With autoscaling the pool is
+        # pre-provisioned up to the policy's ``max_factor`` ceiling; spare
+        # workers beyond the active fleet receive no assignments and schedule
+        # zero events, so scale-out activates them without perturbing the
+        # event stream (serial == sharded byte-identical).
+        build_counts = []
         for device, count in self.config.fleet.devices:
+            built = count
+            if self.autoscale is not None:
+                built = max(count, math.ceil(count * self.autoscale.max_factor))
+            build_counts.append((device, built))
+        workers = []
+        for device, count in build_counts:
             for _ in range(count):
                 resources = None
                 if self.config.resources is not None:
@@ -274,6 +307,7 @@ class ServingSimulation:
             repository,
             self.discriminator,
             initial_demand=self.initial_demand,
+            prices=self.prices,
         )
 
         replanner = None
@@ -285,9 +319,28 @@ class ServingSimulation:
                 load_balancer=load_balancer,
                 config=self.replan,
             )
+        if self.autoscale is not None:
+            replanner.autoscaler = Autoscaler(
+                self.autoscale, controller, prices=self.prices
+            )
 
         if self.faults is not None:
             from repro.faults.injector import FaultInjector
+
+            # Per-class revocation probability: the fraction of a class's
+            # built workers named by the plan's spot revocations.  Feeds the
+            # cost-aware policy's risk discount and the MILP tie-break.
+            from repro.faults.plan import SpotRevocation
+
+            targeted: dict = {}
+            for fault in self.faults.faults:
+                if isinstance(fault, SpotRevocation) and workers:
+                    target = workers[fault.worker % len(workers)]
+                    targeted.setdefault(target.device_name, set()).add(id(target))
+            for device, built in build_counts:
+                hits = targeted.get(device.name)
+                if hits:
+                    controller.revocation_risk[device.name] = len(hits) / built
 
             FaultInjector(
                 sim,
@@ -355,6 +408,8 @@ def build_diffserve_system(
     replan_policy: Optional[str] = None,
     resources: Optional[ResourceConfig] = None,
     faults: Optional[FaultPlan] = None,
+    autoscale: Optional[ScalePolicy] = None,
+    prices: Optional[PriceTrace] = None,
 ) -> ServingSimulation:
     """Build a ready-to-run DiffServe system for a named cascade.
 
@@ -385,6 +440,11 @@ def build_diffserve_system(
     straggler / bandwidth / partition / solver-timeout processes plus the
     optional self-healing recovery loop.  ``None`` keeps runs bit-for-bit
     identical to fault-free builds.
+
+    ``autoscale`` attaches a :class:`~repro.core.autoscaler.ScalePolicy`
+    evaluated at replan epochs (requires re-planning); ``prices`` attaches a
+    :class:`~repro.core.pricing.PriceTrace` metering time-integrated cost and
+    pricing spot classes.  Both default to ``None`` (bit-for-bit legacy).
     """
     from repro.models.dataset import load_dataset
     from repro.models.zoo import get_cascade
@@ -437,4 +497,6 @@ def build_diffserve_system(
         replan=replan,
         name=name,
         faults=faults,
+        autoscale=autoscale,
+        prices=prices,
     )

@@ -1,0 +1,247 @@
+"""Elastic-fleet study: fixed provisioning vs. autoscaling on spot markets.
+
+The autoscaling layer (:mod:`repro.core.autoscaler`) makes the fleet size and
+mix a *decision variable over time*: a :class:`~repro.core.autoscaler.ScalePolicy`
+is evaluated at every re-planning epoch against the epoch's arrival rate, SLO
+violation ratio and — for the cost-aware policy — the current spot prices of
+:mod:`repro.core.pricing`, and every transition flows through the controller's
+single audited ``set_fleet`` site, which bills the time-integrated
+:class:`~repro.core.pricing.CostLedger`.  This study serves each workload's
+identical sampled trace through three arms:
+
+``fixed``
+    No autoscaler (``autoscale=None``): the equal-peak-cost reference that
+    holds the full fleet for the whole run and pays for it.
+``reactive``
+    The ``reactive`` catalog policy: scales on load and SLO violations alone,
+    blind to prices.
+``cost-aware``
+    The ``cost-aware`` catalog policy: additionally weights device classes by
+    their effective spot price (surge-inflated, revocation-risk-adjusted) and
+    evicts spot capacity priced above its on-demand ceiling.
+
+All arms of a workload share one deterministic price trace, so cost
+differences come from *scaling decisions*, never from market luck.  The
+headline claim — gated in ``benchmarks/test_bench_autoscale.py`` — is that
+under the diurnal workload the cost-aware arm strictly dominates the fixed
+equal-peak-cost fleet on (time-integrated cost, SLO violation ratio): strictly
+cheaper, no worse on violations.
+
+Every arm is one grid cell of the cached parallel runner (``autoscale`` and
+``prices`` are cached grid dimensions since cache schema v9), so
+``repro autoscale`` inherits the runner's determinism and caching guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.harness import BENCH_SCALE, ExperimentScale, format_table
+
+#: (workload kind, ``--prices`` spelling) market scenarios.  The diurnal
+#: workload rides the calm diurnal spot market; the flash crowd hits the same
+#: market with two price surges (a "spot storm") overlapping the crowd.
+DEFAULT_MARKETS: Tuple[Tuple[str, str], ...] = (
+    ("diurnal", "spot-diurnal"),
+    ("flash-crowd", "spot-storm"),
+)
+
+#: (arm name, ``--autoscale`` spelling) policy arms in execution order.
+DEFAULT_POLICIES: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("fixed", None),
+    ("reactive", "reactive"),
+    ("cost-aware", "cost-aware"),
+)
+
+#: Mixed fleet the study scales: an on-demand A100 anchor plus a cheap L4
+#: spot tier the cost-aware policy can actually evict.  Small enough that
+#: scale decisions bite, heterogeneous so the MILP's price tie-break engages.
+DEFAULT_FLEET: Tuple[Tuple[str, int], ...] = (("a100", 2), ("l4", 4))
+
+#: Adaptive re-planning epoch (seconds): the autoscaler's decision cadence.
+DEFAULT_EPOCH = 3.0
+
+#: Nominal rate as a fraction of the cascade's all-light capacity, sized so
+#: the diurnal trough leaves real slack for scale-in while the peak binds.
+DEFAULT_QPS_FRACTION = 0.45
+
+
+@dataclass
+class AutoscaleArm:
+    """Outcome of one (workload, policy) cell."""
+
+    name: str
+    autoscale: Optional[str]
+    prices: str
+    summary: Dict[str, float]
+
+    @property
+    def cost(self) -> float:
+        """Time-integrated fleet cost of the arm (A100-hours)."""
+        return self.summary["fleet_cost"]
+
+    @property
+    def violation(self) -> float:
+        """SLO violation ratio of the arm."""
+        return self.summary["slo_violation_ratio"]
+
+    @property
+    def fid(self) -> float:
+        """FID of the arm."""
+        return self.summary["fid"]
+
+
+@dataclass
+class AutoscaleResult:
+    """All arms of the autoscale study, keyed by workload then policy name."""
+
+    qps: float
+    arms: Dict[str, Dict[str, AutoscaleArm]] = field(default_factory=dict)
+
+    def arm(self, workload: str, policy: str) -> AutoscaleArm:
+        """The arm for one (workload, policy) pair."""
+        return self.arms[workload][policy]
+
+    def cost_aware_dominates(self, workload: str = "diurnal", tol: float = 1e-9) -> bool:
+        """The headline claim, pinned by the benchmark gate.
+
+        The cost-aware arm strictly dominates the fixed equal-peak-cost
+        reference on (time-integrated cost, SLO violation ratio): strictly
+        cheaper, and no worse on violations (``tol`` absorbs float noise).
+        """
+        fixed = self.arm(workload, "fixed")
+        aware = self.arm(workload, "cost-aware")
+        return aware.cost < fixed.cost and aware.violation <= fixed.violation + tol
+
+    def savings(self, workload: str, policy: str) -> float:
+        """Fractional cost saving of ``policy`` vs. the fixed reference."""
+        fixed = self.arm(workload, "fixed")
+        if fixed.cost <= 0:
+            return 0.0
+        return 1.0 - self.arm(workload, policy).cost / fixed.cost
+
+
+def run_autoscale(
+    cascade_name: str = "sdturbo",
+    scale: ExperimentScale = BENCH_SCALE,
+    *,
+    markets: Sequence[Tuple[str, str]] = DEFAULT_MARKETS,
+    policies: Sequence[Tuple[str, Optional[str]]] = DEFAULT_POLICIES,
+    fleet: Tuple[Tuple[str, int], ...] = DEFAULT_FLEET,
+    qps: Optional[float] = None,
+    replan_epoch: float = DEFAULT_EPOCH,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> AutoscaleResult:
+    """Run the autoscale cells through the cached parallel grid runner.
+
+    Every policy arm of a workload serves the *identical* sampled trace under
+    the *identical* price trace (both are functions of spec and seed, not of
+    the policy), with adaptive re-planning attached so scale decisions have a
+    cadence to ride on.
+    """
+    from repro.runner.executor import run_grid
+    from repro.runner.spec import ExperimentGrid, ExperimentSpec, TraceSpec
+    from repro.workloads import cascade_qps_range
+
+    total_workers = sum(count for _, count in fleet)
+    scale = replace(scale, num_workers=max(total_workers, 2))
+    if qps is None:
+        lo, hi = cascade_qps_range(cascade_name, total_workers)
+        qps = DEFAULT_QPS_FRACTION * hi
+    specs = [
+        ExperimentSpec(
+            cascade=cascade_name,
+            scale=scale,
+            systems=("diffserve",),
+            trace=TraceSpec(kind=kind, qps=qps),
+            params=(
+                ("replan_epoch", float(replan_epoch)),
+                ("replan_policy", "adaptive"),
+            ),
+            fleet=tuple(sorted(fleet)),
+            autoscale=autoscale,
+            prices=prices,
+        )
+        for kind, prices in markets
+        for _, autoscale in policies
+    ]
+    report = run_grid(ExperimentGrid.of(specs), jobs=jobs, use_cache=use_cache)
+    failed = [cell for cell in report.cells if not cell.ok]
+    if failed:
+        details = "; ".join(f"{cell.spec.label}: {cell.status}" for cell in failed)
+        raise RuntimeError(f"autoscale study cells failed: {details}")
+
+    result = AutoscaleResult(qps=float(qps))
+    cell_iter = iter(report.cells)
+    for kind, prices in markets:
+        result.arms[kind] = {}
+        for name, autoscale in policies:
+            cell = next(cell_iter)
+            result.arms[kind][name] = AutoscaleArm(
+                name=name,
+                autoscale=autoscale,
+                prices=prices,
+                summary=dict(cell.summaries["diffserve"]),
+            )
+    return result
+
+
+def main(scale: ExperimentScale = BENCH_SCALE) -> str:
+    """Run the autoscale study and print the per-arm table plus verdicts."""
+    result = run_autoscale(scale=scale)
+    rows: List[list] = []
+    for kind, arms in result.arms.items():
+        for name, arm in arms.items():
+            rows.append(
+                [
+                    kind,
+                    name,
+                    arm.prices,
+                    arm.cost,
+                    f"{result.savings(kind, name):.0%}",
+                    arm.violation,
+                    arm.fid,
+                    arm.summary["p99_latency"],
+                ]
+            )
+    verdicts = []
+    for kind, _ in result.arms.items():
+        if result.cost_aware_dominates(kind):
+            verdicts.append(
+                f"{kind}: cost-aware autoscaling strictly dominates the fixed "
+                f"equal-peak-cost fleet on (cost, SLO violation)"
+            )
+        else:
+            verdicts.append(
+                f"{kind}: cost-aware does NOT dominate the fixed fleet here "
+                f"(saving {result.savings(kind, 'cost-aware'):.0%})"
+            )
+    output = "\n".join(
+        [
+            f"Elastic fleets — DiffServe @ {result.qps:g} qps nominal, "
+            f"fleet {'+'.join(f'{cls}x{count}' for cls, count in DEFAULT_FLEET)}, "
+            f"adaptive re-planning every {DEFAULT_EPOCH:g}s",
+            format_table(
+                [
+                    "workload",
+                    "policy",
+                    "market",
+                    "cost (A100-h)",
+                    "saving",
+                    "SLO viol",
+                    "FID",
+                    "p99 (s)",
+                ],
+                rows,
+            ),
+            *verdicts,
+        ]
+    )
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

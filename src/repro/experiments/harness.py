@@ -143,6 +143,8 @@ def build_comparison_systems(
     fleet=None,
     resources=None,
     faults=None,
+    autoscale=None,
+    prices=None,
 ) -> Dict[str, ServingSimulation]:
     """Instantiate the requested systems with shared dataset/discriminator.
 
@@ -160,7 +162,13 @@ def build_comparison_systems(
     every system; ``None`` keeps the legacy compute-only execution model.
     ``faults`` (a :class:`~repro.faults.plan.FaultPlan`) injects the same
     deterministic fault scenario into every system; ``None`` keeps runs
-    fault-free and bit-for-bit legacy.
+    fault-free and bit-for-bit legacy.  ``prices`` (a
+    :class:`~repro.core.pricing.PriceTrace`) meters every system's cost
+    ledger at spot-market rates; ``autoscale`` (a
+    :class:`~repro.core.autoscaler.ScalePolicy`) attaches the
+    epoch-synchronous autoscaler to the DiffServe system only — baselines
+    have no re-planning loop to evaluate it on, so they keep their fixed
+    fleet (and remain the fixed-provisioning comparison arms).
     """
     if dataset is None or discriminator is None:
         _, dataset, discriminator = shared_components(cascade_name, scale)
@@ -170,6 +178,7 @@ def build_comparison_systems(
         "fleet": fleet,
         "resources": resources,
         "faults": faults,
+        "prices": prices,
     }
     built: Dict[str, ServingSimulation] = {}
     for name in systems:
@@ -222,6 +231,7 @@ def build_comparison_systems(
                 static_threshold=static_threshold,
                 replan_epoch=replan_epoch,
                 replan_policy=replan_policy,
+                autoscale=autoscale,
                 **cluster,
                 **over,
             )

@@ -176,12 +176,21 @@ def run_heterogeneity(
         result.arms[kind] = {}
         for name, fleet in resolved:
             cell = next(cell_iter)
+            summary = dict(cell.summaries["diffserve"])
+            # Bill what the run actually held: the controller's time-integrated
+            # cost ledger (A100-hours).  The construction-time
+            # ``fleet.total_cost`` is a *rate* and ignores mid-run fleet
+            # transitions (revocations, repairs, autoscaling); the fallback
+            # only covers summaries cached before the ledger existed.
+            cost = summary.get(
+                "fleet_cost", fleet.total_cost * scale.trace_duration / 3600.0
+            )
             result.arms[kind][name] = FleetArm(
                 fleet_name=name,
                 counts=fleet.as_counts(),
-                cost=fleet.total_cost,
+                cost=cost,
                 workers=fleet.total_workers,
-                summary=dict(cell.summaries["diffserve"]),
+                summary=summary,
             )
     return result
 

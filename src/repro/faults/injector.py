@@ -181,7 +181,9 @@ class FaultInjector(Actor):
         if worker.failed or worker in self._decommissioned:
             return
         self._decommissioned.add(worker)
-        worker.quarantined = True
+        # Fence through the Controller so a same-epoch autoscaler scale-out
+        # can never re-activate a machine the market already reclaimed.
+        self.controller.fence_worker(worker)
         drained = list(worker.queue)
         worker.queue.clear()
         self.log.append((self.now, f"{worker.name} decommissioned ({len(drained)} drained)"))
@@ -291,7 +293,15 @@ class FaultInjector(Actor):
         self.sim.schedule(recovery.heartbeat_period, self._heartbeat, name="heartbeat")
 
     def _repair_fleet(self) -> None:
-        """Shrink/regrow the active fleet to the healthy workers and re-solve."""
+        """Shrink/regrow the active fleet to the healthy workers and re-solve.
+
+        Per class the repaired count is ``min(healthy, fleet_target)``: the
+        Controller's :attr:`~repro.core.controller.Controller.fleet_target`
+        is what the autoscaler currently wants, so repairs never silently
+        activate pre-provisioned spares.  Without an autoscaler the target
+        *is* the full fleet, making the clamp an identity (legacy behaviour).
+        """
+        target = self.controller.fleet_target
         devices = []
         for device, _count in self._full_fleet.devices:
             healthy = sum(
@@ -299,8 +309,9 @@ class FaultInjector(Actor):
                 for w in self.controller._workers_by_class.get(device.name, [])
                 if not w.failed and not w.quarantined
             )
-            if healthy > 0:
-                devices.append((device, healthy))
+            count = min(healthy, target.count_for(device.name))
+            if count > 0:
+                devices.append((device, count))
         if not devices:
             # Nothing left to plan for; leave the plan as-is and let queries
             # drop — a dead cluster should degrade, not crash.
@@ -309,7 +320,7 @@ class FaultInjector(Actor):
         fleet = FleetSpec(devices=tuple(devices))
         if fleet.token() == self.controller.active_fleet.token():
             return
-        self.controller.set_fleet(fleet)
+        self.controller.set_fleet(fleet, reason="repair")
         self.controller.repairing = True
         try:
             self.controller.replan(warm_start=self.controller.current_plan)

@@ -155,6 +155,8 @@ def run_cell_results(
         fleet=spec.resolve_fleet(),
         resources=spec.resolve_resources(),
         faults=spec.resolve_faults(),
+        autoscale=spec.resolve_autoscale(),
+        prices=spec.resolve_prices(),
         **spec.params_dict(),
     )
     topology = spec.resolve_geo()

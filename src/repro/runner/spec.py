@@ -39,7 +39,11 @@ from repro.experiments.harness import ExperimentScale
 #: fault-enabled cells run the injector + self-healing control plane
 #: (crash/straggler/revocation faults, retry-with-backoff requeue,
 #: last-known-good plan fallback); QueryRecord gained a ``retries`` column.
-CACHE_SCHEMA_VERSION = 8
+#: v9: elastic fleets — ``autoscale`` / ``prices`` became grid dimensions
+#: (epoch-synchronous scale policies over deterministic spot price traces),
+#: summaries gained a time-integrated ``fleet_cost`` key, and fleet
+#: transitions route through the controller's audited ``set_fleet`` site.
+CACHE_SCHEMA_VERSION = 9
 
 #: The standard five-system comparison run by most figures.
 DEFAULT_SYSTEMS: Tuple[str, ...] = (
@@ -219,6 +223,18 @@ class ExperimentSpec:
         (``None`` keeps runs fault-free and bit-for-bit legacy).  Hashes by
         the *resolved* :meth:`~repro.faults.plan.FaultPlan.token`, so a
         catalog name and its equivalent JSON share a cache entry.
+    autoscale:
+        Epoch-synchronous scale policy: a catalog name from
+        :data:`repro.core.autoscaler.SCALE_POLICIES` or the ``--autoscale``
+        JSON form (``None`` keeps the fleet fixed and bit-for-bit legacy).
+        Hashes by the *resolved*
+        :meth:`~repro.core.autoscaler.ScalePolicy.token`.
+    prices:
+        Spot-market price trace: a catalog name from
+        :data:`repro.core.pricing.PRICE_TRACES` or the ``--prices`` JSON
+        form (``None`` meters the static catalog rate).  Hashes by the
+        *resolved* :meth:`~repro.core.pricing.PriceTrace.token`, so
+        equivalent JSON spellings share a cache entry.
     """
 
     cascade: str
@@ -232,6 +248,8 @@ class ExperimentSpec:
     shards: int = 1
     resources: Optional[str] = None
     faults: Optional[str] = None
+    autoscale: Optional[str] = None
+    prices: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.systems:
@@ -269,6 +287,12 @@ class ExperimentSpec:
         if self.faults is not None:
             if self.resolve_faults() is None:
                 raise ValueError("faults must be a catalog name or JSON, not blank")
+        if self.autoscale is not None:
+            if self.resolve_autoscale() is None:
+                raise ValueError("autoscale must be a policy name or JSON, not blank")
+        if self.prices is not None:
+            if self.resolve_prices() is None:
+                raise ValueError("prices must be a trace name or JSON, not blank")
 
     # ------------------------------------------------------------- builders
     def with_params(self, **params: ParamValue) -> "ExperimentSpec":
@@ -333,6 +357,34 @@ class ExperimentSpec:
 
         return parse_faults(self.faults)
 
+    def resolve_autoscale(self):
+        """The spec's scale policy as a
+        :class:`~repro.core.autoscaler.ScalePolicy`.
+
+        ``None`` when the cell runs with a fixed fleet.  Parsing and
+        validation live in :func:`~repro.core.autoscaler.parse_autoscale`
+        (a catalog name or the ``--autoscale`` JSON form).
+        """
+        if self.autoscale is None:
+            return None
+        from repro.core.autoscaler import parse_autoscale
+
+        return parse_autoscale(self.autoscale)
+
+    def resolve_prices(self):
+        """The spec's price trace as a
+        :class:`~repro.core.pricing.PriceTrace`.
+
+        ``None`` when the cell meters the static catalog rate.  Parsing and
+        validation live in :func:`~repro.core.pricing.parse_prices` (a
+        catalog name or the ``--prices`` JSON form).
+        """
+        if self.prices is None:
+            return None
+        from repro.core.pricing import parse_prices
+
+        return parse_prices(self.prices)
+
     # ------------------------------------------------------------- identity
     def token(self) -> str:
         """Canonical token string the content hash is derived from."""
@@ -364,6 +416,10 @@ class ExperimentSpec:
             parts.append(f"resources({self.resolve_resources().token()})")
         if self.faults is not None:
             parts.append(f"faults({self.resolve_faults().token()})")
+        if self.autoscale is not None:
+            parts.append(f"autoscale({self.resolve_autoscale().token()})")
+        if self.prices is not None:
+            parts.append(f"prices({self.resolve_prices().token()})")
         return "|".join(parts)
 
     @property
@@ -399,6 +455,16 @@ class ExperimentSpec:
         if self.faults is not None:
             bits.append(
                 "faults-json" if self.faults.strip().startswith("{") else f"faults-{self.faults}"
+            )
+        if self.autoscale is not None:
+            bits.append(
+                "autoscale-json"
+                if self.autoscale.strip().startswith("{")
+                else f"autoscale-{self.autoscale}"
+            )
+        if self.prices is not None:
+            bits.append(
+                "prices-json" if self.prices.strip().startswith("{") else f"prices-{self.prices}"
             )
         bits.extend(f"{k}={v}" for k, v in self.params)
         return "/".join(bits)
@@ -444,6 +510,8 @@ class ExperimentGrid:
         shards: int = 1,
         resources: Optional[str] = None,
         faults: Optional[str] = None,
+        autoscale: Optional[str] = None,
+        prices: Optional[str] = None,
     ) -> "ExperimentGrid":
         """Cross product of cascades x scales (or seeds) x traces x params x fleets x geos.
 
@@ -457,7 +525,9 @@ class ExperimentGrid:
         (``"default"`` or the ``--resources`` JSON form; ``None`` keeps the
         legacy execution model).  ``faults`` injects the same deterministic
         fault scenario into every cell (a catalog name or the ``--faults``
-        JSON form; ``None`` keeps cells fault-free).
+        JSON form; ``None`` keeps cells fault-free).  ``autoscale`` /
+        ``prices`` attach the same scale policy / price trace to every cell
+        (catalog names or JSON; ``None`` keeps fleets fixed at catalog rates).
         """
         if scales is None:
             base = base_scale if base_scale is not None else ExperimentScale()
@@ -477,6 +547,8 @@ class ExperimentGrid:
                 shards=shards,
                 resources=resources,
                 faults=faults,
+                autoscale=autoscale,
+                prices=prices,
             )
             for cascade in cascades
             for scale in scales

@@ -197,6 +197,7 @@ GOLDEN_REPLAN = {
     "mean_latency": 0.8601924912424341,
     "p50_latency": 0.20735231122277575,
     "p99_latency": 3.8771323032797107,
+    "fleet_cost": 0.06666666666666667,
 }
 
 

@@ -93,6 +93,9 @@ def _ref_summary(result: SimulationResult) -> dict:
         "mean_latency": float(latencies.mean()),
         "p50_latency": float(np.percentile(latencies, 50)),
         "p99_latency": float(np.percentile(latencies, 99)),
+        # Carried verbatim from the result, not derived from records: the
+        # cost ledger's time-integrated total (A100-hours).
+        "fleet_cost": result.fleet_cost,
     }
 
 

@@ -35,6 +35,7 @@ GOLDEN_REPLAN = {
     "p99_latency": 3.8771323032797107,
     "slo_violation_ratio": 0.005649717514124294,
     "total_queries": 354.0,
+    "fleet_cost": 0.06666666666666667,
 }
 GOLDEN_FLEET = {
     "completed": 177.0,
@@ -47,6 +48,7 @@ GOLDEN_FLEET = {
     "p99_latency": 4.643622283809266,
     "slo_violation_ratio": 0.03278688524590164,
     "total_queries": 183.0,
+    "fleet_cost": 0.04027777777777778,
 }
 
 
@@ -114,8 +116,9 @@ def test_num_workers_alias_warns_exactly_once():
 
 # --------------------------------------------------------- runner dimension
 def test_cache_schema_bumped_for_resources():
-    # v7 introduced the resources dimension; v8 added the faults dimension.
-    assert CACHE_SCHEMA_VERSION == 8
+    # v7 introduced the resources dimension; v8 added the faults dimension;
+    # v9 added the autoscale/prices dimensions and the fleet_cost summary key.
+    assert CACHE_SCHEMA_VERSION == 9
 
 
 def test_spec_token_includes_resolved_resources():
