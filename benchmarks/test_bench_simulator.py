@@ -7,6 +7,9 @@ hot-path regressions show up as an events/sec drop rather than as a slow
 figure suite.
 """
 
+import numpy as np
+
+from repro.core.system import DEFAULT_ARRIVAL_CHUNK, ArrivalFeeder
 from repro.simulator.events import EventQueue
 from repro.simulator.simulation import Simulator
 
@@ -35,7 +38,11 @@ def test_bench_simulator_events_per_sec(benchmark):
     assert fired == N_EVENTS
     if benchmark.stats:
         mean = benchmark.stats["mean"]
-        benchmark.extra_info["events_per_sec"] = N_EVENTS / mean if mean else None
+        events_per_sec = N_EVENTS / mean if mean else None
+        benchmark.extra_info["events_per_sec"] = events_per_sec
+        # Gated (higher is better): compare.py fails the job if dispatch
+        # throughput regresses past its threshold.
+        benchmark.extra_info["gated_events_per_sec"] = events_per_sec
 
 
 def _cancel_heavy_round() -> tuple:
@@ -65,3 +72,57 @@ def test_bench_event_queue_cancel_heavy(benchmark):
     # Lazy compaction bounds the heap at ~2x the live events; without it the
     # heap would still hold all N_EVENTS entries here.
     assert heap_after_cancel <= 2 * live_after_cancel + 64
+
+
+#: Arrivals for the streaming bench — ~24 chunks at the default chunk size,
+#: enough to exercise chunk-boundary scheduling without slowing bench-smoke.
+N_ARRIVALS = 100_000
+
+
+class _BenchDataset:
+    """Minimal dataset protocol for the feeder (id-derived prompt/difficulty)."""
+
+    def prompt(self, query_id):
+        return f"prompt-{query_id}"
+
+    def difficulty(self, query_id):
+        return (query_id % 13) / 13.0
+
+
+def _stream_arrivals() -> dict:
+    """Stream a sorted trace through the chunked feeder into a sink.
+
+    Tracks peak live materialized queries (scheduled minus delivered, sampled
+    at each submit): with chunked feeding this is bounded by one chunk, not
+    the whole trace.
+    """
+    sim = Simulator(seed=0)
+    state = {"delivered": 0, "peak_live": 0}
+
+    def submit(query) -> None:
+        state["delivered"] += 1
+        live = feeder.scheduled_arrivals - state["delivered"]
+        if live > state["peak_live"]:
+            state["peak_live"] = live
+
+    feeder = ArrivalFeeder(sim, _BenchDataset(), submit, slo=1.0)
+    times = np.linspace(0.0, 60.0, N_ARRIVALS)
+    feeder.feed(range(N_ARRIVALS), times)
+    sim.run()
+    state["chunks"] = feeder.chunks_fired
+    return state
+
+
+def test_bench_arrival_streaming(benchmark):
+    state = benchmark(_stream_arrivals)
+    assert state["delivered"] == N_ARRIVALS
+    assert state["chunks"] == -(-N_ARRIVALS // DEFAULT_ARRIVAL_CHUNK)
+    # O(chunk) live objects, not O(trace): the whole point of the feeder.
+    assert state["peak_live"] <= 2 * DEFAULT_ARRIVAL_CHUNK
+    benchmark.extra_info["arrival_peak_live_objects"] = state["peak_live"]
+    # Gated (higher is better): trace length over peak live materialized
+    # queries — drops toward 1 if chunked feeding ever degrades to eager
+    # materialization of the whole trace.
+    benchmark.extra_info["gated_arrival_live_headroom"] = N_ARRIVALS / max(
+        state["peak_live"], 1
+    )

@@ -225,6 +225,17 @@ def build_parser() -> argparse.ArgumentParser:
             "pressure"
         ),
     )
+    runner.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "arm the deterministic event-loop profiler: cells run inline "
+            "(ignoring --jobs) with the summary cache bypassed, and a per-"
+            "event-name fire-count/wall-clock table is printed for every "
+            "cell and system; summaries stay byte-identical with profiling "
+            "on or off"
+        ),
+    )
     runner.add_argument("--jobs", type=int, default=1, help="worker processes for 'run'")
     runner.add_argument(
         "--no-cache",
@@ -593,6 +604,71 @@ def parse_grid(
     )
 
 
+def run_profiled_grid(args: argparse.Namespace, grid) -> int:
+    """Execute ``run --profile``: every cell inline with the profiler armed.
+
+    Wall-clock telemetry lives only on the simulator objects that measured
+    it, so a profiled run never consults or writes the summary cache and
+    always executes inline regardless of ``--jobs``.  Shared components
+    (datasets, discriminators) still come from the artifact cache — those
+    carry no timing.  The summaries printed (and written via ``--json``) are
+    byte-identical to an unprofiled run of the same grid.
+    """
+    from repro.experiments.harness import format_table
+    from repro.runner.cache import default_cache
+    from repro.runner.executor import canonical_summaries_json, run_cell_results
+    from repro.simulator.profiling import format_profile_table
+
+    cache = None if args.no_cache else default_cache()
+    rows: List[list] = []
+    tables: List[str] = []
+    payload_lines: List[str] = []
+    for spec in grid:
+        profiles: Dict[str, Dict[str, tuple]] = {}
+        _, results = run_cell_results(spec, cache=cache, profile_sink=profiles)
+        summaries = {
+            name: {k: float(v) for k, v in result.summary().items()}
+            for name, result in results.items()
+        }
+        for system, summary in sorted(summaries.items()):
+            rows.append(
+                [
+                    spec.label,
+                    system,
+                    "ok",
+                    summary["fid"],
+                    summary["slo_violation_ratio"],
+                    summary["p99_latency"],
+                ]
+            )
+        for system in sorted(profiles):
+            tables.append(
+                format_profile_table(profiles[system], title=f"{spec.label} / {system}")
+            )
+        if args.json_path:
+            payload_lines.append(
+                json.dumps(
+                    {
+                        "label": spec.label,
+                        "spec": spec.content_hash,
+                        "status": "ok",
+                        "summaries": json.loads(canonical_summaries_json(summaries)),
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+    print(format_table(["cell", "system", "status", "FID", "SLO viol", "p99 (s)"], rows))
+    print(f"cells={len(grid)} profiled inline (summary cache bypassed)")
+    for table in tables:
+        print()
+        print(table)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(payload_lines) + "\n")
+    return 0
+
+
 def run_grid_command(args: argparse.Namespace) -> int:
     """Execute the ``run`` subcommand: a grid through the parallel runner."""
     from repro.experiments.harness import format_table
@@ -619,6 +695,9 @@ def run_grid_command(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.profile:
+        return run_profiled_grid(args, grid)
 
     report = run_grid(
         grid,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 
@@ -47,6 +48,52 @@ class LoadBalancerStats:
         if light_decisions == 0:
             return None
         return self.deferred / light_decisions
+
+
+#: Recycled :class:`WorkItem` wrappers retained by the Load Balancer.
+_ITEM_FREE_LIST_MAX = 1024
+
+
+class _PoolIndex:
+    """Incremental least-loaded index over one worker pool.
+
+    A lazy min-heap of ``(load, worker_id)`` entries: every load change
+    pushes a fresh entry (via the workers' ``on_load_change`` hook), and
+    :meth:`least_loaded` pops entries whose recorded load no longer matches
+    the worker's current load.  The heap top is then exactly
+    ``min(pool, key=lambda w: (w.load, w.worker_id))`` — the same worker the
+    O(pool) scan would pick, in O(log pool) amortised (pinned by a
+    regression test that replays both side by side).
+
+    Stale entries are bounded: the heap is rebuilt from the live workers
+    whenever it outgrows ``4 * pool + 64`` entries.
+    """
+
+    __slots__ = ("workers", "heap")
+
+    def __init__(self, pool: List[Worker]) -> None:
+        self.workers: Dict[int, Worker] = {w.worker_id: w for w in pool}
+        self.heap: List[Tuple[int, int]] = [(w.load, w.worker_id) for w in pool]
+        heapify(self.heap)
+
+    def push(self, worker: Worker) -> None:
+        """Record a load change (the worker's hook calls this)."""
+        heappush(self.heap, (worker.load, worker.worker_id))
+        if len(self.heap) > 4 * len(self.workers) + 64:
+            self.heap = [(w.load, w.worker_id) for w in self.workers.values()]
+            heapify(self.heap)
+
+    def least_loaded(self) -> Optional[Worker]:
+        """The pool's ``(load, worker_id)``-minimal worker (None if empty)."""
+        heap = self.heap
+        workers = self.workers
+        while heap:
+            load, worker_id = heap[0]
+            worker = workers.get(worker_id)
+            if worker is not None and worker.load == load:
+                return worker
+            heappop(heap)  # stale entry (or a worker no longer pooled)
+        return None
 
 
 class LoadBalancer(Actor):
@@ -99,6 +146,9 @@ class LoadBalancer(Actor):
         self._retries: Dict[int, int] = {}
         self.light_pool: List[Worker] = []
         self.heavy_pool: List[Worker] = []
+        self._light_index = _PoolIndex([])
+        self._heavy_index = _PoolIndex([])
+        self._item_free: List[WorkItem] = []
         self.stats = LoadBalancerStats()
         self._rng = sim.rng.stream("load-balancer")
         self._arrival_times: Deque[float] = deque()
@@ -120,9 +170,45 @@ class LoadBalancer(Actor):
         """Update which workers host the light and heavy models."""
         self.light_pool = list(light_pool)
         self.heavy_pool = list(heavy_pool)
+        self._light_index = _PoolIndex(self.light_pool)
+        self._heavy_index = _PoolIndex(self.heavy_pool)
         for worker in self.light_pool + self.heavy_pool:
             worker.on_complete = self._on_worker_complete
             worker.on_drop = self._on_worker_drop
+            worker.on_load_change = self._on_worker_load
+
+    def _on_worker_load(self, worker: Worker) -> None:
+        """Worker load-change hook: refresh the pool indexes."""
+        worker_id = worker.worker_id
+        if worker_id in self._light_index.workers:
+            self._light_index.push(worker)
+        if worker_id in self._heavy_index.workers:
+            self._heavy_index.push(worker)
+
+    # ------------------------------------------------------- WorkItem recycling
+    def _make_item(self, query: Query, stage: str) -> WorkItem:
+        """A :class:`WorkItem`, recycled from the free list when possible.
+
+        One wrapper is allocated per query hop on the hot path; recycling
+        them keeps steady-state dispatch allocation-free.  Only wrappers that
+        have reached a terminal callback (:meth:`_on_worker_complete` /
+        :meth:`_on_worker_drop`) are recycled — orphaned items held by the
+        fault injector never re-enter the free list.
+        """
+        free = self._item_free
+        if free:
+            item = free.pop()
+            item.query = query
+            item.stage = stage
+            item.enqueue_time = self.now
+            return item
+        return WorkItem(query=query, stage=stage, enqueue_time=self.now)
+
+    def _release_item(self, item: WorkItem) -> None:
+        free = self._item_free
+        if len(free) < _ITEM_FREE_LIST_MAX:
+            item.query = None  # type: ignore[assignment]  # drop the reference
+            free.append(item)
 
     # ------------------------------------------------------------- data path
     def submit(self, query: Query) -> None:
@@ -153,10 +239,20 @@ class LoadBalancer(Actor):
             self._drop(query)
             return
         worker = self._least_loaded(pool)
-        worker.enqueue(WorkItem(query=query, stage=stage, enqueue_time=self.now))
+        worker.enqueue(self._make_item(query, stage))
 
     def _least_loaded(self, pool: List[Worker]) -> Worker:
-        return min(pool, key=lambda w: (w.queue_length + (1 if w.busy else 0), w.worker_id))
+        if pool is self.light_pool:
+            worker = self._light_index.least_loaded()
+        elif pool is self.heavy_pool:
+            worker = self._heavy_index.least_loaded()
+        else:
+            worker = None
+        if worker is not None:
+            return worker
+        # Foreign pool (tests probe with ad-hoc lists) or an empty index:
+        # the reference O(pool) scan the index is defined against.
+        return min(pool, key=lambda w: (w.load, w.worker_id))
 
     def _heavy_completion_estimate(self) -> float:
         """Estimated time for a newly deferred query to finish on the heavy pool.
@@ -176,8 +272,14 @@ class LoadBalancer(Actor):
     def _on_worker_complete(
         self, item: WorkItem, image: GeneratedImage, confidence: Optional[float]
     ) -> None:
+        # Capture before recycling: this callback is the item's terminal hop
+        # (the worker already removed it from its in-flight set), so the
+        # wrapper goes back to the free list and may be reused by the
+        # enqueues below.
         query = item.query
-        if item.stage == "light" and self.routing == RoutingMode.CASCADE:
+        item_stage = item.stage
+        self._release_item(item)
+        if item_stage == "light" and self.routing == RoutingMode.CASCADE:
             accept = confidence is None or confidence >= self.threshold
             can_defer = bool(self.heavy_pool) and (
                 self.now + self._heavy_completion_estimate() <= query.deadline
@@ -188,17 +290,19 @@ class LoadBalancer(Actor):
             else:
                 self.stats.deferred += 1
                 worker = self._least_loaded(self.heavy_pool)
-                worker.enqueue(WorkItem(query=query, stage="heavy", enqueue_time=self.now))
+                worker.enqueue(self._make_item(query, "heavy"))
         else:
-            stage = QueryStage.HEAVY if item.stage == "heavy" else QueryStage.LIGHT
+            stage = QueryStage.HEAVY if item_stage == "heavy" else QueryStage.LIGHT
             if stage == QueryStage.HEAVY:
                 self.stats.returned_heavy += 1
             else:
                 self.stats.returned_light += 1
-            self._respond(query, image, stage, confidence, deferred=item.stage == "heavy")
+            self._respond(query, image, stage, confidence, deferred=item_stage == "heavy")
 
     def _on_worker_drop(self, item: WorkItem) -> None:
-        self._drop(item.query)
+        query = item.query
+        self._release_item(item)
+        self._drop(query)
 
     # ------------------------------------------------------------- recovery
     def requeue(self, query: Query, stage: str = "light") -> None:
@@ -233,7 +337,7 @@ class LoadBalancer(Actor):
             self._drop(query)
             return
         worker = self._least_loaded(pool)
-        worker.enqueue(WorkItem(query=query, stage=stage, enqueue_time=self.now))
+        worker.enqueue(self._make_item(query, stage))
 
     def _respond(
         self,

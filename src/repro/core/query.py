@@ -59,6 +59,47 @@ class Query:
         return self.arrival_time + self.slo
 
 
+@dataclass(slots=True)
+class QueryBatch:
+    """A column-oriented batch of routed arrivals, pre-materialization.
+
+    The lazy counterpart of a ``list[Query]``: three parallel NumPy arrays
+    (query id, server-side arrival time, per-query SLO) that the
+    :class:`~repro.core.system.ArrivalFeeder` expands into :class:`Query`
+    objects one chunk at a time.  Prompt and difficulty are derivable from
+    the id via the dataset, so they never travel with the batch — which is
+    also what keeps the sharded pipe protocol's per-epoch payload at three
+    arrays instead of one pickled object per query.
+
+    ``times`` need not be sorted (network delays can locally reorder routed
+    arrivals); the feeder orders delivery by scheduling each chunk at the
+    chunk's earliest time and letting the event queue's total
+    ``(time, priority, seq)`` order do the rest.
+    """
+
+    ids: np.ndarray
+    times: np.ndarray
+    slos: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.ids) == len(self.times) == len(self.slos)):
+            raise ValueError(
+                f"QueryBatch columns disagree: {len(self.ids)} ids, "
+                f"{len(self.times)} times, {len(self.slos)} slos"
+            )
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def empty(cls) -> "QueryBatch":
+        return cls(
+            ids=np.empty(0, dtype=np.int64),
+            times=np.empty(0, dtype=float),
+            slos=np.empty(0, dtype=float),
+        )
+
+
 @dataclass
 class QueryRecord:
     """The outcome of one query, recorded by the result collector.

@@ -49,7 +49,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.geo import GeoRouter, GeoTopology, RegionSpec, sample_origins
-from repro.core.query import Query
+from repro.core.query import QueryBatch
 from repro.core.results import ColumnStore, ControlSnapshot, SimulationResult
 from repro.core.system import ServingSimulation, SystemRuntime, Workload
 from repro.metrics.accumulators import GaussianStats, StreamingMoments, merge_all
@@ -135,6 +135,11 @@ class RegionStats:
     #: across shard counts is untouched.
     events_fired: int = 0
     advance_seconds: float = 0.0
+    #: Cumulative event-loop profile (``{event name: (fires, callback
+    #: seconds)}``) when the template armed ``profile=True``; empty
+    #: otherwise.  Same telemetry rule as above: reported live per shard,
+    #: never merged into summaries.
+    profile: Dict[str, Tuple[int, float]] = field(default_factory=dict)
 
 
 @dataclass
@@ -183,9 +188,14 @@ class RegionRuntime:
             self._chunks.append(ColumnStore.from_records(records, self._feature_dim))
             records.clear()
 
-    def run_epoch(self, queries: Sequence[Query], barrier: float) -> RegionStats:
-        """Inject one epoch's routed queries, advance to the barrier."""
-        self.runtime.inject(queries)
+    def run_epoch(self, queries: QueryBatch, barrier: float) -> RegionStats:
+        """Inject one epoch's routed arrivals, advance to the barrier.
+
+        ``queries`` arrives column-oriented; the runtime's feeder
+        materializes :class:`~repro.core.query.Query` objects one chunk at a
+        time as the region's clock reaches them.
+        """
+        self.runtime.inject_batch(queries)
         tick = time.perf_counter()
         self.runtime.advance(barrier)
         self.advance_seconds += time.perf_counter() - tick
@@ -210,6 +220,7 @@ class RegionRuntime:
             p99=collector.latency_p99.value,
             events_fired=self.runtime.sim.events_fired,
             advance_seconds=self.advance_seconds,
+            profile=self.runtime.sim.profile_snapshot(),
         )
 
     def finish(self) -> RegionResult:
@@ -246,9 +257,9 @@ class _InlineShard:
         self._runtimes = {name: RegionRuntime(system) for name, system in systems.items()}
         self._pending: Optional[Dict[str, RegionStats]] = None
 
-    def begin_epoch(self, barrier: float, queries: Mapping[str, Sequence[Query]]) -> None:
+    def begin_epoch(self, barrier: float, queries: Mapping[str, QueryBatch]) -> None:
         self._pending = {
-            name: runtime.run_epoch(queries.get(name, ()), barrier)
+            name: runtime.run_epoch(queries.get(name) or QueryBatch.empty(), barrier)
             for name, runtime in self._runtimes.items()
         }
 
@@ -288,7 +299,7 @@ def _shard_worker_main(conn, sys_path: List[str]) -> None:
             elif verb == "epoch":
                 _, barrier, queries = message
                 stats = {
-                    name: runtime.run_epoch(queries.get(name, ()), barrier)
+                    name: runtime.run_epoch(queries.get(name) or QueryBatch.empty(), barrier)
                     for name, runtime in runtimes.items()
                 }
                 conn.send(("stats", stats))
@@ -356,8 +367,10 @@ class _ProcessShard:
             raise RuntimeError(f"expected {verb!r} from shard, got {message[0]!r}")
         return message[1:] if len(message) > 1 else None
 
-    def begin_epoch(self, barrier: float, queries: Mapping[str, Sequence[Query]]) -> None:
-        self._conn.send(("epoch", barrier, {name: list(qs) for name, qs in queries.items()}))
+    def begin_epoch(self, barrier: float, queries: Mapping[str, QueryBatch]) -> None:
+        # A QueryBatch pickles as three NumPy arrays — the per-epoch payload
+        # is O(arrays), not one pickled object per query.
+        self._conn.send(("epoch", barrier, dict(queries)))
 
     def collect_stats(self) -> Dict[str, RegionStats]:
         return self._expect("stats")[0]
@@ -427,6 +440,11 @@ class ShardSupervisor:
     #: Wall-clock seconds the supervisor spent waiting at epoch barriers
     #: (collecting every shard's stats) in the last run.
     barrier_seconds: float = 0.0
+    #: Per-region event-loop profiles from the last run (canonical order),
+    #: populated only when the template armed ``profile=True``.  Live-only
+    #: telemetry like :attr:`shard_timing`: shown in timing reports, never
+    #: merged into summaries.
+    shard_profiles: Dict[str, Dict[str, Tuple[int, float]]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -468,12 +486,22 @@ class ShardSupervisor:
         origins: np.ndarray,
         lo: int,
         hi: int,
-    ) -> Dict[str, List[Query]]:
-        """Route arrivals ``[lo, hi)`` (one epoch) to regions, in arrival order."""
-        dataset = self.template.dataset
+    ) -> Dict[str, QueryBatch]:
+        """Route arrivals ``[lo, hi)`` (one epoch) to regions, in arrival order.
+
+        The routing loop itself stays per-query — the router is stateful
+        (each decision updates the target's routed count, which feeds the
+        next spill decision) — but it emits per-region *columns* rather than
+        ``Query`` objects: ids, server-side arrival times, and server-side
+        SLOs.  Materialization happens lazily inside each region's feeder,
+        so the supervisor and the shard pipes never hold an epoch's queries
+        as objects.
+        """
         slo = self.template.config.slo
         regions = self.topology.regions
-        routed: Dict[str, List[Query]] = {region.name: [] for region in regions}
+        ids: Dict[str, List[int]] = {region.name: [] for region in regions}
+        times: Dict[str, List[float]] = {region.name: [] for region in regions}
+        slos: Dict[str, List[float]] = {region.name: [] for region in regions}
         for index in range(lo, hi):
             origin = regions[origins[index]]
             decision = router.route(origin)
@@ -481,16 +509,18 @@ class ShardSupervisor:
             # The network round-trip shifts the server-side arrival and
             # shrinks the server-side SLO budget, so the client-perceived
             # deadline (client arrival + SLO) is preserved exactly.
-            routed[decision.region].append(
-                Query(
-                    query_id=index,
-                    arrival_time=float(arrivals[index]) + delay,
-                    prompt=dataset.prompt(index),
-                    difficulty=dataset.difficulty(index),
-                    slo=slo - delay,
-                )
+            target = decision.region
+            ids[target].append(index)
+            times[target].append(float(arrivals[index]) + delay)
+            slos[target].append(slo - delay)
+        return {
+            region.name: QueryBatch(
+                ids=np.asarray(ids[region.name], dtype=np.int64),
+                times=np.asarray(times[region.name], dtype=float),
+                slos=np.asarray(slos[region.name], dtype=float),
             )
-        return routed
+            for region in regions
+        }
 
     def _partitioned_at(self, when: float) -> frozenset:
         """Region names with an active link partition at routing time ``when``.
@@ -583,6 +613,7 @@ class ShardSupervisor:
         )
         self.live_summaries = []
         self.shard_timing = {}
+        self.shard_profiles = {}
         self.barrier_seconds = 0.0
         try:
             cursor = 0
@@ -610,6 +641,8 @@ class ShardSupervisor:
                     }
                     for name in names
                 }
+                # Profiles are cumulative snapshots; the last barrier's wins.
+                self.shard_profiles = {name: barrier_stats[name].profile for name in names}
                 for name in names:
                     stats = barrier_stats[name]
                     router.observe(name, stats.completed, stats.dropped)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 
 from repro.core.autoscaler import Autoscaler, ScalePolicy
@@ -25,7 +25,7 @@ from repro.core.controller import Controller
 from repro.core.pricing import PriceTrace
 from repro.core.load_balancer import LoadBalancer
 from repro.core.policies import AllocationPolicy, make_diffserve_policy
-from repro.core.query import Query
+from repro.core.query import Query, QueryBatch
 from repro.core.replanner import ReplanConfig, ReplanController
 from repro.core.repository import ModelRepository
 from repro.core.resources import BandwidthChannel, ResidencySet, WorkerResources
@@ -46,6 +46,124 @@ from repro.workloads.base import ArrivalProcess
 #: scenario sampled at simulation start from the simulator's random streams.
 Workload = Union[ArrivalTrace, ArrivalProcess]
 
+#: Arrivals materialized per chunk event by the :class:`ArrivalFeeder`.  The
+#: knob bounds live ``Query`` objects at O(chunk) instead of O(trace) and is
+#: cache-neutral: it changes when queries are *allocated*, never when they
+#: arrive, so summaries are byte-identical for every chunk size (test-gated).
+DEFAULT_ARRIVAL_CHUNK = 4096
+
+
+class ArrivalFeeder:
+    """Streams arrivals into the event loop chunk by chunk, lazily.
+
+    Given the columnar form of a batch of arrivals — ids, arrival times, and
+    SLOs — the feeder schedules one *chunk event* per :attr:`chunk_size`
+    arrivals at the chunk's earliest arrival time (priority ``-1``, so
+    materialization always lands strictly before same-time arrivals).  When
+    a chunk fires it materializes that chunk's :class:`Query` objects from
+    the dataset and bulk-schedules their submissions via
+    :meth:`~repro.simulator.simulation.Simulator.schedule_many_at` — a shared
+    callback with per-event args, no per-arrival closures, recyclable event
+    wrappers.
+
+    Live ``Query`` objects are therefore bounded by O(chunk), not O(trace):
+    a million-query cell holds ~one chunk of un-fired arrivals at any time.
+    Delivery order is untouched — the event queue's total ``(time, priority,
+    seq)`` order makes chunk-fed runs byte-identical to per-query feeding
+    (pinned by property and golden tests).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dataset: QueryDataset,
+        submit: Callable[[Query], None],
+        slo: float,
+        *,
+        chunk_size: int = DEFAULT_ARRIVAL_CHUNK,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.sim = sim
+        self.dataset = dataset
+        self.submit = submit
+        self.slo = slo
+        self.chunk_size = int(chunk_size)
+        #: Arrivals materialized and scheduled so far (benchmarks subtract
+        #: delivered submissions from this to measure peak live objects).
+        self.scheduled_arrivals = 0
+        self.chunks_fired = 0
+
+    def feed(self, ids, times, slos=None) -> None:
+        """Queue a batch of arrivals for chunked materialization.
+
+        ``ids`` and ``times`` are parallel sequences (NumPy arrays, lists, or
+        a ``range`` for ids); ``slos`` is a parallel sequence of per-query
+        SLOs or ``None`` for the feeder's uniform SLO.  Times may be locally
+        unordered (routed batches are ordered by *client* arrival while the
+        network delay shifts server times); every chunk's boundary event
+        fires at the chunk's minimum, so no arrival is ever scheduled late.
+        """
+        n = len(times)
+        chunk = self.chunk_size
+        schedule_at = self.sim.schedule_at
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            window = times[lo:hi]
+            first = float(window.min()) if hasattr(window, "min") else min(window)
+            schedule_at(
+                first,
+                self._fire_chunk,
+                args=(ids, times, slos, lo, hi),
+                priority=-1,
+                name="arrival-chunk",
+            )
+
+    def _fire_chunk(self, ids, times, slos, lo: int, hi: int) -> None:
+        """Materialize arrivals ``[lo, hi)`` and bulk-schedule their submits."""
+        dataset = self.dataset
+        prompt = dataset.prompt
+        difficulty = dataset.difficulty
+        chunk_ids = ids[lo:hi]
+        chunk_times = times[lo:hi]
+        if hasattr(chunk_ids, "tolist"):
+            chunk_ids = chunk_ids.tolist()
+        if hasattr(chunk_times, "tolist"):
+            chunk_times = chunk_times.tolist()
+        if slos is None:
+            slo = self.slo
+            args_seq = [
+                (
+                    Query(
+                        query_id=qid,
+                        arrival_time=t,
+                        prompt=prompt(qid),
+                        difficulty=difficulty(qid),
+                        slo=slo,
+                    ),
+                )
+                for qid, t in zip(chunk_ids, chunk_times)
+            ]
+        else:
+            chunk_slos = slos[lo:hi]
+            if hasattr(chunk_slos, "tolist"):
+                chunk_slos = chunk_slos.tolist()
+            args_seq = [
+                (
+                    Query(
+                        query_id=qid,
+                        arrival_time=t,
+                        prompt=prompt(qid),
+                        difficulty=difficulty(qid),
+                        slo=s,
+                    ),
+                )
+                for qid, t, s in zip(chunk_ids, chunk_times, chunk_slos)
+            ]
+        self.sim.schedule_many_at(chunk_times, self.submit, args_seq, name="arrival")
+        self.scheduled_arrivals += len(args_seq)
+        self.chunks_fired += 1
+
 
 class ClientSource(Actor):
     """Replays a workload as client queries against the Load Balancer.
@@ -54,6 +172,10 @@ class ClientSource(Actor):
     system in a comparison sees identical arrivals) or an
     :class:`~repro.workloads.base.ArrivalProcess` (sampled deterministically
     from the simulator's own random streams when the run starts).
+
+    Arrivals stream through an :class:`ArrivalFeeder`: the source holds only
+    the trace's NumPy arrays, and ``Query`` objects materialize one chunk at
+    a time as the clock reaches them.
     """
 
     def __init__(
@@ -63,6 +185,8 @@ class ClientSource(Actor):
         dataset: QueryDataset,
         load_balancer: LoadBalancer,
         slo: float,
+        *,
+        chunk_size: int = DEFAULT_ARRIVAL_CHUNK,
     ) -> None:
         super().__init__(sim, name="client")
         self.workload = workload
@@ -72,24 +196,21 @@ class ClientSource(Actor):
         self.dataset = dataset
         self.load_balancer = load_balancer
         self.slo = slo
-        self.queries: List[Query] = []
+        self.feeder = ArrivalFeeder(
+            sim, dataset, load_balancer.submit, slo, chunk_size=chunk_size
+        )
 
     def start(self) -> None:
-        """Schedule every arrival in the workload."""
+        """Queue every arrival in the workload (chunked, lazily materialized)."""
         if self.trace is None:
             self.trace = self.workload.sample(self.sim.rng)
-        for query_id, arrival in enumerate(self.trace.arrival_times):
-            query = Query(
-                query_id=query_id,
-                arrival_time=float(arrival),
-                prompt=self.dataset.prompt(query_id),
-                difficulty=self.dataset.difficulty(query_id),
-                slo=self.slo,
-            )
-            self.queries.append(query)
-            self.sim.schedule_at(
-                float(arrival), lambda q=query: self.load_balancer.submit(q), name="arrival"
-            )
+        times = self.trace.arrival_times
+        self.feeder.feed(range(len(times)), times)
+
+    @property
+    def total_queries(self) -> int:
+        """Arrivals in the (sampled) trace; 0 before a stochastic workload samples."""
+        return len(self.trace.arrival_times) if self.trace is not None else 0
 
 
 @dataclass
@@ -112,18 +233,31 @@ class SystemRuntime:
     config: SystemConfig
     dataset: QueryDataset
     name: str
+    feeder: ArrivalFeeder
 
     def inject(self, queries: Sequence[Query]) -> None:
         """Schedule fully formed queries as future arrivals.
 
-        Arrival times must lie at or after the current clock — the epoch
-        protocol guarantees this by injecting epoch ``k``'s queries before
-        advancing into epoch ``k``.
+        The per-query compatibility path (one closure per arrival); bulk
+        callers should prefer :meth:`inject_batch`.  Arrival times must lie
+        at or after the current clock — the epoch protocol guarantees this by
+        injecting epoch ``k``'s queries before advancing into epoch ``k``.
         """
         submit = self.load_balancer.submit
         schedule_at = self.sim.schedule_at
         for query in queries:
             schedule_at(query.arrival_time, lambda q=query: submit(q), name="arrival")
+
+    def inject_batch(self, batch: QueryBatch) -> None:
+        """Schedule a column-oriented batch of routed arrivals, lazily.
+
+        The batch's arrays go to the runtime's :class:`ArrivalFeeder`, which
+        materializes ``Query`` objects one chunk at a time as the clock
+        reaches them — observation-equivalent to :meth:`inject` with the
+        fully formed query list, at O(chunk) live objects.
+        """
+        if len(batch):
+            self.feeder.feed(batch.ids, batch.times, batch.slos)
 
     def start(self) -> None:
         """Fire actor start hooks (idempotent; applies plan zero, etc.)."""
@@ -196,6 +330,16 @@ class ServingSimulation:
         Optional :class:`~repro.core.pricing.PriceTrace` metering the cost
         ledger and pricing spot classes for the cost-aware policy/MILP
         tie-break.  ``None`` meters the static catalog rate.
+    profile:
+        Arm the simulator's built-in event-loop profiler.  Per-event-name
+        fire counts and cumulative callback wall-clock become available via
+        ``runtime.sim.profile_snapshot()``; behaviour is byte-identical with
+        profiling on or off (test-gated), and the wall-clock telemetry never
+        enters cached summaries.
+    arrival_chunk:
+        Arrivals materialized per chunk by the :class:`ArrivalFeeder`
+        (default :data:`DEFAULT_ARRIVAL_CHUNK`).  Purely a memory/latency
+        knob — summaries are byte-identical for every chunk size.
     """
 
     config: SystemConfig
@@ -208,6 +352,12 @@ class ServingSimulation:
     faults: Optional[FaultPlan] = None
     autoscale: Optional[ScalePolicy] = None
     prices: Optional[PriceTrace] = None
+    profile: bool = False
+    arrival_chunk: int = DEFAULT_ARRIVAL_CHUNK
+    #: Snapshot of the last profiled :meth:`run` (``None`` until one
+    #: completes with ``profile=True``).  Live-object telemetry only — it
+    #: never enters :class:`SimulationResult` summaries or the cache.
+    last_profile: Optional[Dict[str, Tuple[int, float]]] = None
 
     def prepare(self) -> SystemRuntime:
         """Wire the full system (no client source) and return its runtime.
@@ -222,7 +372,7 @@ class ServingSimulation:
                 "(set replan_epoch/replan_policy): scale decisions are "
                 "evaluated at replan epochs"
             )
-        sim = Simulator(seed=self.config.seed)
+        sim = Simulator(seed=self.config.seed, profile=self.profile)
         generator = ImageGenerator(seed=self.config.seed)
         collector = ResultCollector(self.dataset)
 
@@ -360,6 +510,13 @@ class ServingSimulation:
             config=self.config,
             dataset=self.dataset,
             name=self.name,
+            feeder=ArrivalFeeder(
+                sim,
+                self.dataset,
+                load_balancer.submit,
+                self.config.slo,
+                chunk_size=self.arrival_chunk,
+            ),
         )
 
     def horizon(self, trace: Workload) -> float:
@@ -377,9 +534,18 @@ class ServingSimulation:
         :class:`~repro.workloads.base.ArrivalProcess` sampled at start.
         """
         runtime = self.prepare()
-        ClientSource(runtime.sim, trace, self.dataset, runtime.load_balancer, self.config.slo)
+        ClientSource(
+            runtime.sim,
+            trace,
+            self.dataset,
+            runtime.load_balancer,
+            self.config.slo,
+            chunk_size=self.arrival_chunk,
+        )
         horizon = duration if duration is not None else self.horizon(trace)
         runtime.sim.run(until=horizon)
+        if self.profile:
+            self.last_profile = runtime.sim.profile_snapshot()
         return runtime.result(horizon)
 
 

@@ -134,7 +134,13 @@ class Worker(Actor):
         self._inflight: List[WorkItem] = []
 
         self.queue: Deque[WorkItem] = deque()
-        self.busy = False
+        self._busy = False
+        #: Load-change hook (set by the Load Balancer's pool index).  Fired
+        #: after *every* mutation of :attr:`load` — queue appends and pops,
+        #: busy flips, queue clears — which is the index's whole correctness
+        #: contract: a load change the hook misses is a worker the index can
+        #: no longer see.
+        self.on_load_change: Optional[Callable[["Worker"], None]] = None
         self._dispatching = False
         #: Variant the worker is blocked on while its weights transfer in.
         self._reload_pending: Optional[str] = None
@@ -154,6 +160,31 @@ class Worker(Actor):
     def queue_length(self) -> int:
         """Number of queries waiting in the local queue."""
         return len(self.queue)
+
+    @property
+    def busy(self) -> bool:
+        """Whether the worker is executing a batch (or blocked on a reload)."""
+        return self._busy
+
+    @busy.setter
+    def busy(self, value: bool) -> None:
+        self._busy = value
+        cb = self.on_load_change
+        if cb is not None:
+            cb(self)
+
+    @property
+    def load(self) -> int:
+        """Routing load: queued queries plus one if the worker is occupied.
+
+        Exactly the key the Load Balancer's least-loaded choice orders by.
+        """
+        return len(self.queue) + (1 if self._busy else 0)
+
+    def _notify_load(self) -> None:
+        cb = self.on_load_change
+        if cb is not None:
+            cb(self)
 
     @property
     def stage(self) -> str:
@@ -298,6 +329,7 @@ class Worker(Actor):
                     self.on_drop(item)
             return
         self.queue.append(item)
+        self._notify_load()
         self.stats.arrivals += 1
         self._maybe_start_batch()
 
@@ -309,9 +341,16 @@ class Worker(Actor):
         orphans = list(self._inflight) + list(self.queue)
         self._inflight = []
         self.queue.clear()
-        self.busy = False
+        self.busy = False  # setter notifies; covers the queue clear too
         self._reload_pending = None
         return orphans
+
+    def drain_queue(self) -> List[WorkItem]:
+        """Empty the local queue (e.g. before decommissioning) and return it."""
+        drained = list(self.queue)
+        self.queue.clear()
+        self._notify_load()
+        return drained
 
     def _predicted_exec_latency(self, batch_size: int) -> float:
         latency = self.profiled.latency(batch_size)
@@ -337,6 +376,10 @@ class Worker(Actor):
                 exec_estimate = self._predicted_exec_latency(min(self.batch_size, len(self.queue)))
                 while self.queue and len(batch) < self.batch_size:
                     item = self.queue.popleft()
+                    # Notify per pop, before any ``on_drop`` below: a drop
+                    # handler may synchronously resubmit, and the pool index
+                    # it routes with must already see this queue shrink.
+                    self._notify_load()
                     if (
                         self.drop_late
                         and self.now + exec_estimate > item.query.deadline

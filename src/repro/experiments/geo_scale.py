@@ -130,6 +130,9 @@ def shard_timing_report(
         dataset_size=scale.dataset_size,
         seed=scale.seed,
     )
+    # Arm the per-region event-loop profiler: summaries are byte-identical
+    # with profiling on or off, and this report is never cached.
+    template.profile = True
     trace = make_workload(
         workload,
         duration=min(duration, scale.trace_duration),
@@ -150,14 +153,24 @@ def shard_timing_report(
                 events / seconds if seconds > 0 else float("inf"),
             ]
         )
-    return "\n".join(
-        [
-            f"Shard event-loop timing — topology={topology} shards={shards} "
-            f"(barrier wait {supervisor.barrier_seconds:.3f}s; "
-            "wall-clock telemetry only, never cached)",
-            format_table(["region", "events", "advance (s)", "events/s"], rows),
-        ]
-    )
+    from repro.simulator.profiling import format_profile_table
+
+    sections = [
+        f"Shard event-loop timing — topology={topology} shards={shards} "
+        f"(barrier wait {supervisor.barrier_seconds:.3f}s; "
+        "wall-clock telemetry only, never cached)",
+        format_table(["region", "events", "advance (s)", "events/s"], rows),
+    ]
+    for region in sorted(supervisor.shard_profiles):
+        sections.append("")
+        sections.append(
+            format_profile_table(
+                supervisor.shard_profiles[region],
+                top=8,
+                title=f"region {region} event-loop profile",
+            )
+        )
+    return "\n".join(sections)
 
 
 def main(scale: ExperimentScale = BENCH_SCALE) -> str:

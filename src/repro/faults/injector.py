@@ -184,8 +184,7 @@ class FaultInjector(Actor):
         # Fence through the Controller so a same-epoch autoscaler scale-out
         # can never re-activate a machine the market already reclaimed.
         self.controller.fence_worker(worker)
-        drained = list(worker.queue)
-        worker.queue.clear()
+        drained = worker.drain_queue()
         self.log.append((self.now, f"{worker.name} decommissioned ({len(drained)} drained)"))
         for item in drained:
             self.load_balancer.requeue(item.query, stage=item.stage)

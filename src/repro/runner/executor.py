@@ -130,7 +130,10 @@ def resolve_trace(spec: ExperimentSpec):
 
 
 def run_cell_results(
-    spec: ExperimentSpec, *, cache: Optional[ArtifactCache] = None
+    spec: ExperimentSpec,
+    *,
+    cache: Optional[ArtifactCache] = None,
+    profile_sink: Optional[Dict[str, Dict[str, Tuple[int, float]]]] = None,
 ) -> Tuple[object, Dict[str, object]]:
     """Run one cell and return ``(rate curve, {system: SimulationResult})``.
 
@@ -140,6 +143,12 @@ def run_cell_results(
     cells (and explicit ``shards``) run each system through the epoch-
     synchronous shard supervisor instead of the single event loop; both
     paths compute byte-identical summaries for equivalent scenarios.
+
+    Passing ``profile_sink`` (a mutable dict) arms the event-loop profiler on
+    every system and fills the sink with ``{system: {event: (fires, secs)}}``
+    — merged across shards for sharded cells.  Profiles are live-object
+    wall-clock telemetry: they come back only through the sink, never through
+    the returned results or the (cacheable) summaries derived from them.
     """
     from repro.experiments.harness import build_comparison_systems, shared_components
 
@@ -159,17 +168,38 @@ def run_cell_results(
         prices=spec.resolve_prices(),
         **spec.params_dict(),
     )
+    if profile_sink is not None:
+        for system in systems.values():
+            system.profile = True
     topology = spec.resolve_geo()
     if topology is not None or spec.shards > 1:
-        from repro.core.sharding import run_sharded
+        from repro.core.sharding import ShardSupervisor, run_sharded
+        from repro.simulator.profiling import merge_profiles
 
-        results = {
-            name: run_sharded(system, trace, topology=topology, shards=spec.shards)
-            for name, system in systems.items()
-        }
+        results = {}
+        for name, system in systems.items():
+            if profile_sink is None:
+                results[name] = run_sharded(system, trace, topology=topology, shards=spec.shards)
+            else:
+                # Drive the supervisor directly: per-shard profiles exist only
+                # on the live supervisor object (same rule as shard_timing).
+                topo = topology if topology is not None else _single_region_topology(system)
+                supervisor = ShardSupervisor(template=system, topology=topo, shards=spec.shards)
+                results[name] = supervisor.run(trace)
+                profile_sink[name] = merge_profiles(supervisor.shard_profiles.values())
     else:
         results = {name: system.run(trace) for name, system in systems.items()}
+        if profile_sink is not None:
+            for name, system in systems.items():
+                profile_sink[name] = system.last_profile or {}
     return curve, results
+
+
+def _single_region_topology(system):
+    """The degenerate one-region topology ``run_sharded`` builds for shards>1."""
+    from repro.core.geo import GeoTopology, RegionSpec
+
+    return GeoTopology(regions=(RegionSpec(name="main", fleet=system.config.fleet),))
 
 
 def run_cell(

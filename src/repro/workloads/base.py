@@ -68,6 +68,12 @@ class ArrivalProcess(abc.ABC):
             Stream-name prefix.  Composite processes re-prefix their children
             (``{stream}/{index}``) so identically named components stay
             statistically independent.
+
+        The returned trace's ``arrival_times`` array is handed zero-copy to
+        the :class:`~repro.core.system.ArrivalFeeder`, which holds it for the
+        whole run and materializes queries chunk by chunk — samplers must
+        return times sorted ascending (enforced by :class:`ArrivalTrace`)
+        and must not mutate the array afterwards.
         """
 
     # ------------------------------------------------------------ conveniences
@@ -132,7 +138,11 @@ class SuperposedProcess(ArrivalProcess):
             process.sample(streams, stream=f"{stream}/{index}").arrival_times
             for index, process in enumerate(self.processes)
         ]
-        merged = np.sort(np.concatenate(arrivals)) if arrivals else np.zeros(0)
+        # The concatenation is already a fresh array, so sort it in place:
+        # np.sort would copy the whole trace a second time, which matters for
+        # the million-query cells the chunked feeder exists for.
+        merged = np.concatenate(arrivals)
+        merged.sort()
         return ArrivalTrace(arrival_times=merged, curve=self.rate_curve())
 
 

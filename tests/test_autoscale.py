@@ -409,3 +409,28 @@ def test_autoscaled_serial_equals_sharded_byte_identical():
     sharded = run_sharded(elastic_system(), workload, shards=2).summary()
     assert serial == sharded
     assert "fleet_cost" in serial
+
+
+# ------------------------------------------- chunked feeding / profiler gates
+def test_chunk_size_and_profiler_are_summary_neutral_autoscaled():
+    """Arrival chunking and the profiler never perturb an autoscaled run.
+
+    ``arrival_chunk`` only changes when queries are *allocated* and
+    ``profile=True`` only counts callbacks, so every combination must be
+    byte-identical to the reference run — including the elastic control
+    plane's scale decisions, which feed off observed arrivals.
+    """
+    import dataclasses
+
+    from repro.runner.executor import canonical_summaries_json
+
+    workload = small_workload()
+
+    def run(**fields):
+        system = dataclasses.replace(elastic_system(), **fields)
+        return canonical_summaries_json({"s": system.run(workload).summary()})
+
+    reference = run()
+    assert run(arrival_chunk=1) == reference
+    assert run(arrival_chunk=7) == reference
+    assert run(profile=True) == reference

@@ -266,7 +266,7 @@ def test_retries_conserve_query_count():
     )
     summary = result.summary()
     assert runtime.load_balancer.requeues > 0, "storm should exercise the retry path"
-    assert summary["total_queries"] == len(source.queries)
+    assert summary["total_queries"] == source.total_queries
     assert summary["completed"] + summary["dropped"] == summary["total_queries"]
     # Retried queries carry their retry count on the record, and the recorded
     # retries never exceed the load balancer's requeue notifications.
@@ -472,3 +472,23 @@ def test_failed_worker_routes_enqueues_to_on_fail():
     worker.enqueue(WorkItem(query=query, stage="light", enqueue_time=0.0))
     assert len(caught) == 1
     assert not worker.queue  # never queued on the dead worker
+
+
+# ------------------------------------------- chunked feeding / profiler gates
+def test_chunk_size_and_profiler_are_summary_neutral_faulted():
+    """Arrival chunking and the profiler never perturb a faulted run.
+
+    The recovery loop (requeues, backoff retries, repairs) re-enters the
+    arrival path repeatedly, so this pins the chunked feeder's neutrality on
+    the gnarliest configuration: a crash storm with self-healing enabled.
+    """
+    workload = make_workload("static", duration=20.0, qps=5.0, seed=3)
+
+    def run(**fields):
+        system = dataclasses.replace(small_system(faults=get_fault_plan("storm")), **fields)
+        return canonical_summaries_json({"s": system.run(workload).summary()})
+
+    reference = run()
+    assert run(arrival_chunk=1) == reference
+    assert run(arrival_chunk=7) == reference
+    assert run(profile=True) == reference

@@ -221,3 +221,34 @@ def test_pickling_a_drifted_queue_raises():
     q._live = 7  # simulate corruption
     with pytest.raises(RuntimeError, match="live-counter drift"):
         pickle.dumps(q)
+
+
+def test_clear_resets_tombstone_and_free_list_state():
+    """``clear()`` must reset every piece of compaction/recycling state.
+
+    Regression edge: a queue cleared while holding tombstones (dead counter
+    > 0) or parked free-list wrappers used to be able to carry that state
+    into its next life — which the pickling drift check would then flag as
+    corruption.  After ``clear()`` the queue must be indistinguishable from
+    a fresh one.
+    """
+    q = EventQueue()
+    events = [q.push(float(t), _noop) for t in range(10)]
+    for event in events[:5]:
+        q.cancel(event)
+    assert q._dead == 5  # below the compaction floor, so tombstones remain
+    q.recycle(events[6])  # park a wrapper on the free list as well
+    assert q._free
+
+    q.clear()
+    assert len(q) == 0
+    assert q._heap == []
+    assert q._dead == 0
+    assert q._free == []
+
+    # A cleared queue behaves exactly like a fresh one: the live counter is
+    # consistent (no drift on export) and recycled state never leaks back.
+    q.push(1.0, _noop)
+    restored = pickle.loads(pickle.dumps(q))
+    assert len(restored) == 1
+    assert restored.pop().time == 1.0

@@ -418,3 +418,63 @@ def test_worker_drop_resubmit_chain_does_not_recurse():
     assert worker.stats.drops == n + 1
     assert worker.queue_length == 0
     assert not worker.busy
+
+
+# ------------------------------------------------------- incremental pool index
+def _reference_least_loaded(pool):
+    """The O(pool) scan the incremental index must reproduce exactly."""
+    return min(pool, key=lambda w: (w.load, w.worker_id))
+
+
+def test_pool_index_matches_reference_scan_throughout_a_run():
+    """The lazy-heap index and the linear scan must agree at every decision.
+
+    Drives a cascade through submissions, completions, deferrals, a worker
+    crash, and a queue drain, asserting after every step that
+    ``_least_loaded`` picks exactly the worker the reference scan would.
+    """
+    sim = Simulator(seed=0)
+    lb, _, _ = _cascade_setup(sim, threshold=0.7, num_light=4, num_heavy=3)
+    checks = {"n": 0}
+
+    def check():
+        for pool in (lb.light_pool, lb.heavy_pool):
+            assert lb._least_loaded(pool) is _reference_least_loaded(pool)
+        checks["n"] += 1
+
+    def submit_and_check(i):
+        lb.submit(make_query(i, difficulty=(i % 10) / 10.0, slo=60.0))
+        check()
+
+    for i in range(60):
+        sim.schedule_at(0.03 * i, lambda i=i: submit_and_check(i))
+    # Probe between completions too, not only at submit instants.
+    for k in range(1, 40):
+        sim.schedule_at(0.047 * k, check)
+    # Mid-run load mutations that bypass the enqueue path.
+    sim.schedule_at(0.7, lambda: (lb.light_pool[1].fail(), check()))
+    sim.schedule_at(1.1, lambda: (lb.heavy_pool[0].drain_queue(), check()))
+    sim.run(until=30.0)
+    assert checks["n"] >= 100
+
+
+def test_pool_index_foreign_pool_falls_back_to_scan():
+    """Ad-hoc pools (not the LB's own lists) still resolve, via the scan."""
+    sim = Simulator(seed=0)
+    lb, _, _ = _cascade_setup(sim, threshold=0.7, num_light=3)
+    foreign = list(reversed(lb.light_pool))
+    assert lb._least_loaded(foreign) is _reference_least_loaded(foreign)
+
+
+def test_workitem_wrappers_are_recycled():
+    """Completed items return to the free list and back out on reuse."""
+    sim = Simulator(seed=0)
+    lb, responses, _ = _cascade_setup(sim, threshold=0.0)
+    lb.submit(make_query(0, slo=60.0))
+    sim.run(until=20.0)
+    assert len(responses) == 1
+    assert len(lb._item_free) == 1
+    recycled = lb._item_free[-1]
+    assert recycled.query is None  # no dangling reference to the old query
+    lb.submit(make_query(1, slo=60.0))
+    assert not lb._item_free  # the parked wrapper was reused
